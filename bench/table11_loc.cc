@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Table 11: lines of code per defense integration. The paper reports the
+ * LoC added to each defense's gem5 tree for the test harness, socket
+ * communication, and trace extraction; here the analogous split is the
+ * per-defense module (defense-specific logic) versus the shared executor/
+ * trace machinery every target reuses — the same portability argument
+ * (§5.1). Counts are computed from the source tree at run time.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+std::size_t
+countLoc(const fs::path &path)
+{
+    std::ifstream in(path);
+    std::size_t lines = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        // Count non-blank, non-pure-comment lines.
+        const auto pos = line.find_first_not_of(" \t");
+        if (pos == std::string::npos)
+            continue;
+        if (line.compare(pos, 2, "//") == 0 ||
+            line.compare(pos, 2, "/*") == 0 || line[pos] == '*') {
+            continue;
+        }
+        ++lines;
+    }
+    return lines;
+}
+
+fs::path
+findSourceRoot()
+{
+    for (fs::path p : {fs::path("src"), fs::path("../src"),
+                       fs::path("../../src")}) {
+        if (fs::exists(p / "defense"))
+            return p;
+    }
+    return {};
+}
+
+} // namespace
+
+int
+main()
+{
+    bench_util::header("Lines of code per defense integration", "Table 11");
+
+    const fs::path root = findSourceRoot();
+    if (root.empty()) {
+        std::printf("source tree not found (run from the repository "
+                    "root)\n");
+        return 1;
+    }
+
+    struct Target
+    {
+        const char *name;
+        std::vector<const char *> files;
+    };
+    const Target targets[] = {
+        {"InvisiSpec", {"defense/invisispec.hh", "defense/invisispec.cc"}},
+        {"CleanupSpec",
+         {"defense/cleanupspec.hh", "defense/cleanupspec.cc"}},
+        {"STT", {"defense/stt.hh", "defense/stt.cc"}},
+        {"SpecLFB", {"defense/speclfb.hh", "defense/speclfb.cc"}},
+    };
+
+    std::size_t shared = 0;
+    for (const char *f :
+         {"defense/defense.hh", "defense/factory.hh", "defense/factory.cc",
+          "executor/sim_harness.hh", "executor/sim_harness.cc",
+          "executor/uarch_trace.hh", "executor/uarch_trace.cc"}) {
+        shared += countLoc(root / f);
+    }
+
+    std::printf("%-14s %20s %22s\n", "Defense", "Defense-specific LoC",
+                "Shared harness+trace LoC");
+    for (const Target &t : targets) {
+        std::size_t loc = 0;
+        for (const char *f : t.files)
+            loc += countLoc(root / f);
+        std::printf("%-14s %20zu %22zu\n", t.name, loc, shared);
+    }
+    std::printf(
+        "\nPaper shape (Table 11): per-defense integration is small "
+        "(~1k LoC in gem5, most of it\nreusable harness/IPC/trace code); "
+        "here each countermeasure is a few hundred lines against\na fixed "
+        "hook interface while the harness and trace machinery are fully "
+        "shared.\n");
+    return 0;
+}

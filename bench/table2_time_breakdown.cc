@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Table 2: breakdown of time per test program, Naive vs Opt μarch trace
+ * extraction. The shape to compare: startup dominates Naive (~96%);
+ * simulation dominates Opt (~89%); the per-program total drops ~13x.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace bench_util;
+    header("Breakdown of time per test program (Naive vs Opt)", "Table 2");
+
+    const unsigned programs = scaled(10);
+    const unsigned inputs = 20; // inputs per program (base * (1+siblings))
+
+    struct Row
+    {
+        const char *name;
+        double sec[6];
+        double total;
+    };
+    Row rows[2];
+
+    for (int mode = 0; mode < 2; ++mode) {
+        const bool naive = mode == 0;
+        core::CampaignConfig cfg =
+            campaignFor(defense::DefenseKind::Baseline);
+        cfg.harness.naiveMode = naive;
+        cfg.numPrograms = programs;
+        cfg.baseInputsPerProgram = inputs / 4;
+        cfg.siblingsPerBase = 3;
+        cfg.collectSignatures = false;
+        core::Campaign campaign(cfg);
+        const auto stats = campaign.run();
+
+        Row &r = rows[naive ? 0 : 1];
+        r.name = naive ? "Naive" : "Opt";
+        const auto &t = stats.times;
+        r.sec[0] = t.startupSec;
+        r.sec[1] = t.simulateSec;
+        r.sec[2] = t.traceExtractSec;
+        r.sec[3] = t.testGenSec;
+        r.sec[4] = t.ctraceSec;
+        r.sec[5] = t.otherSec < 0 ? 0 : t.otherSec;
+        r.total = stats.wallSeconds;
+    }
+
+    const char *components[6] = {"sim startup",   "sim simulate",
+                                 "uTrace extraction", "Test generation",
+                                 "CTrace extraction", "Others"};
+    std::printf("(per test program of %u inputs, averaged over %u "
+                "programs)\n\n", inputs, programs);
+    std::printf("%-20s | %12s %8s | %12s %8s\n", "Component", "Naive",
+                "", "Opt", "");
+    for (int c = 0; c < 6; ++c) {
+        std::printf("%-20s | %9.3f s  %5.1f%% | %9.3f s  %5.1f%%\n",
+                    components[c], rows[0].sec[c] / programs,
+                    100.0 * rows[0].sec[c] / rows[0].total,
+                    rows[1].sec[c] / programs,
+                    100.0 * rows[1].sec[c] / rows[1].total);
+    }
+    std::printf("%-20s | %9.3f s  %5.1f%% | %9.3f s  %5.1f%%\n", "Total",
+                rows[0].total / programs, 100.0, rows[1].total / programs,
+                100.0);
+    std::printf("\nper-program speedup (Naive/Opt): %.1fx   "
+                "(paper: ~13x; startup share Naive: paper 96.1%%)\n",
+                rows[0].total / rows[1].total);
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Table 6: testing InvisiSpec (patched) with smaller μarch structures.
+ * Shapes to compare: the default 8-way/256-MSHR configuration finds no
+ * violations; shrinking the L1D to 2 ways speeds the campaign (smaller
+ * conflict-fill priming) but still finds nothing; shrinking MSHRs to 2
+ * reveals the same-core MSHR-interference violations (UV2).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace bench_util;
+    header("Leakage amplification on InvisiSpec (patched)", "Table 6");
+
+    struct Config
+    {
+        const char *name;
+        unsigned ways;
+        unsigned mshrs;
+    };
+    const Config configs[] = {
+        {"Patched, 8-way L1D, 256 MSHRs", 8, 256},
+        {"Patched, 2-way L1D, 256 MSHRs", 2, 256},
+        {"Patched, 2-way L1D,   2 MSHRs", 2, 2},
+    };
+
+    std::printf("%-34s %10s %10s %10s\n", "InvisiSpec configuration",
+                "Time (s)", "Tests/s", "Violation");
+    for (const Config &c : configs) {
+        core::CampaignConfig cfg =
+            campaignFor(defense::DefenseKind::InvisiSpec, true);
+        cfg.harness.core.l1d.ways = c.ways;
+        cfg.harness.core.l1dMshrs = c.mshrs;
+        cfg.numPrograms = scaled(60);
+        cfg.seed = 101;
+        core::Campaign campaign(cfg);
+        const auto stats = campaign.run();
+        std::printf("%-34s %10.1f %10.0f %10s\n", c.name,
+                    stats.wallSeconds, stats.throughput(),
+                    stats.detected() ? "YES" : "no");
+        for (const auto &[sig, count] : stats.signatureCounts)
+            std::printf("    signature %-28s x%llu\n", sig.c_str(),
+                        static_cast<unsigned long long>(count));
+    }
+    std::printf(
+        "\nPaper shapes: no violations at 8-way/256; 2-way runs ~2.6x "
+        "faster (fewer priming\ninstructions) and still finds nothing; "
+        "2 MSHRs expose the UV2 interference class.\nNote: UV2 needs a "
+        "precise MSHR/expose race; at laptop campaign scales it may take "
+        "many\nprograms — the deterministic fig6 bench demonstrates the "
+        "mechanism directly.\n");
+    return 0;
+}

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Campaign CLI: run a configurable AMuLeT testing campaign from the
+ * command line — choose the defense, contract, trace format, scale, and
+ * amplification, exactly like driving the paper's artifact.
+ *
+ * Usage examples:
+ *   ./build/examples/campaign_cli --defense invisispec --programs 100
+ *   ./build/examples/campaign_cli --defense speclfb --patched
+ *   ./build/examples/campaign_cli --defense stt --contract ARCH-SEQ \
+ *        --pages 128 --programs 100
+ *   ./build/examples/campaign_cli --defense invisispec --patched \
+ *        --ways 2 --mshrs 2            # Table 6 amplification
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/campaign.hh"
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --defense NAME    baseline|invisispec|cleanupspec|stt|speclfb\n"
+        "  --contract NAME   CT-SEQ|CT-COND|ARCH-SEQ   (default CT-SEQ)\n"
+        "  --trace NAME      l1dtlb|l1dtlbl1i|bpstate|memorder|"
+        "branchorder\n"
+        "  --programs N      test programs (default 50)\n"
+        "  --inputs N        base inputs per program (default 6)\n"
+        "  --siblings N      siblings per base input (default 4)\n"
+        "  --pages N         sandbox pages (default 1; STT uses 128)\n"
+        "  --seed N          RNG seed (default 1)\n"
+        "  --ways N          L1D ways (amplification)\n"
+        "  --mshrs N         L1D MSHRs (amplification)\n"
+        "  --patched         apply all published fixes to the defense\n"
+        "  --naive           AMuLeT-Naive (restart per input)\n"
+        "  --invalidate      invalidate-hook cache reset (default: "
+        "conflict fill)\n"
+        "  --stop-first      stop at the first confirmed violation\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace amulet;
+
+    core::CampaignConfig cfg;
+    cfg.numPrograms = 50;
+    cfg.baseInputsPerProgram = 6;
+    cfg.siblingsPerBase = 4;
+    bool patched = false;
+    defense::DefenseKind kind = defense::DefenseKind::Baseline;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--defense") {
+            auto k = defense::parseDefenseKind(next());
+            if (!k) {
+                std::fprintf(stderr, "unknown defense\n");
+                return 2;
+            }
+            kind = *k;
+        } else if (arg == "--contract") {
+            auto c = contracts::findContract(next());
+            if (!c) {
+                std::fprintf(stderr, "unknown contract\n");
+                return 2;
+            }
+            cfg.contract = *c;
+        } else if (arg == "--trace") {
+            auto f = executor::parseTraceFormat(next());
+            if (!f) {
+                std::fprintf(stderr, "unknown trace format\n");
+                return 2;
+            }
+            cfg.harness.traceFormat = *f;
+        } else if (arg == "--programs") {
+            cfg.numPrograms = static_cast<unsigned>(atoi(next()));
+        } else if (arg == "--inputs") {
+            cfg.baseInputsPerProgram = static_cast<unsigned>(atoi(next()));
+        } else if (arg == "--siblings") {
+            cfg.siblingsPerBase = static_cast<unsigned>(atoi(next()));
+        } else if (arg == "--pages") {
+            cfg.harness.map.sandboxPages =
+                static_cast<unsigned>(atoi(next()));
+        } else if (arg == "--seed") {
+            cfg.seed = static_cast<std::uint64_t>(atoll(next()));
+        } else if (arg == "--ways") {
+            cfg.harness.core.l1d.ways = static_cast<unsigned>(atoi(next()));
+        } else if (arg == "--mshrs") {
+            cfg.harness.core.l1dMshrs =
+                static_cast<unsigned>(atoi(next()));
+        } else if (arg == "--patched") {
+            patched = true;
+        } else if (arg == "--naive") {
+            cfg.harness.naiveMode = true;
+        } else if (arg == "--invalidate") {
+            cfg.harness.prime = executor::PrimeMode::Invalidate;
+        } else if (arg == "--stop-first") {
+            cfg.stopAtFirstViolation = true;
+        } else {
+            usage(argv[0]);
+            return arg == "--help" ? 0 : 2;
+        }
+    }
+
+    cfg.harness.defense =
+        patched ? defense::DefenseConfig::patched(kind)
+                : defense::DefenseConfig{};
+    cfg.harness.defense.kind = kind;
+    // Paper defaults: CleanupSpec/SpecLFB reset caches via the hook.
+    if ((kind == defense::DefenseKind::CleanupSpec ||
+         kind == defense::DefenseKind::SpecLfb)) {
+        cfg.harness.prime = executor::PrimeMode::Invalidate;
+    }
+    cfg.gen.map = cfg.harness.map;
+    cfg.inputs.map = cfg.harness.map;
+
+    std::printf("campaign: defense=%s%s contract=%s trace=%s programs=%u "
+                "inputs=%u x %u pages=%u seed=%llu%s\n\n",
+                defense::defenseKindName(kind), patched ? " (patched)" : "",
+                cfg.contract.name.c_str(),
+                executor::traceFormatName(cfg.harness.traceFormat),
+                cfg.numPrograms, cfg.baseInputsPerProgram,
+                1 + cfg.siblingsPerBase, cfg.harness.map.sandboxPages,
+                static_cast<unsigned long long>(cfg.seed),
+                cfg.harness.naiveMode ? " NAIVE" : "");
+
+    core::Campaign campaign(cfg);
+    const core::CampaignStats stats = campaign.run();
+    std::printf("%s\n", stats.report().c_str());
+    for (const auto &rec : stats.records)
+        std::printf("  %s\n", rec.summary().c_str());
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Root-cause workflow demo (§3.3): fuzz the as-published CleanupSpec,
+ * take the first confirmed violations, and render the paper's side-by-
+ * side debug-log comparison (the Table 9-style view) for each unique
+ * signature found.
+ *
+ * Build & run:   ./build/examples/root_cause_demo
+ */
+
+#include <cstdio>
+#include <set>
+
+#include "core/campaign.hh"
+#include "core/root_cause.hh"
+#include "isa/assembler.hh"
+
+int
+main()
+{
+    using namespace amulet;
+
+    core::CampaignConfig cfg;
+    cfg.harness.defense.kind = defense::DefenseKind::CleanupSpec;
+    cfg.harness.prime = executor::PrimeMode::Invalidate;
+    cfg.contract = contracts::ctSeq();
+    cfg.gen.map = cfg.harness.map;
+    cfg.inputs.map = cfg.harness.map;
+    cfg.numPrograms = 120;
+    cfg.baseInputsPerProgram = 6;
+    cfg.siblingsPerBase = 4;
+    cfg.seed = 17;
+
+    std::printf("Fuzzing the as-published CleanupSpec (CT-SEQ)...\n\n");
+    core::Campaign campaign(cfg);
+    const core::CampaignStats stats = campaign.run();
+    std::printf("%s\n", stats.report().c_str());
+
+    executor::SimHarness harness(cfg.harness);
+    std::set<std::string> shown;
+    for (const auto &rec : stats.records) {
+        if (!shown.insert(rec.signature).second)
+            continue; // one side-by-side view per unique signature
+        std::printf("=============================================\n");
+        std::printf("Violating program:\n%s\n", rec.programText.c_str());
+        const isa::Program prog = isa::assemble(rec.programText);
+        const isa::FlatProgram fp(prog, cfg.harness.map.codeBase);
+        std::printf("%s\n",
+                    core::renderSideBySide(harness, fp, rec).c_str());
+    }
+    if (shown.empty())
+        std::printf("no violations found at this scale; increase "
+                    "--programs or change the seed\n");
+    return 0;
+}

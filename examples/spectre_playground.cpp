@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Spectre playground: run hand-written Spectre-v1 (memory- and
+ * register-secret) and Spectre-v4 attack programs against every
+ * countermeasure, in its as-published (buggy) and patched variant, and
+ * print the resulting leak matrix. The programs are written in the same
+ * listing syntax as the paper's figures.
+ *
+ * Build & run:   ./build/examples/spectre_playground
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "executor/sim_harness.hh"
+#include "isa/assembler.hh"
+
+namespace
+{
+
+using namespace amulet;
+
+std::string
+slowChain(const char *reg, int imuls)
+{
+    std::string s = "    MOV " + std::string(reg) +
+                    ", qword ptr [R14 + 0]\n";
+    for (int i = 0; i < imuls; ++i)
+        s += "    IMUL " + std::string(reg) + ", " + std::string(reg) +
+             "\n";
+    return s;
+}
+
+std::string
+trailing()
+{
+    std::string s = "    MOV R11, qword ptr [R14 + 8]\n";
+    for (int i = 0; i < 40; ++i)
+        s += "    IMUL R11, R11\n";
+    return s;
+}
+
+isa::Program
+spectreV1Mem()
+{
+    std::string t = ".bb_main.0:\n" + slowChain("RAX", 8) +
+                    "    TEST RAX, RAX\n"
+                    "    JNE .bb_main.1\n"
+                    "    AND RCX, 0b111111111111\n"
+                    "    MOV RBX, qword ptr [R14 + RCX]\n"
+                    "    AND RBX, 0b111110000000\n"
+                    "    MOV RDX, qword ptr [R14 + RBX]\n"
+                    "    JMP .bb_main.1\n"
+                    ".bb_main.1:\n" +
+                    trailing();
+    return isa::assemble(t);
+}
+
+isa::Program
+spectreV1Reg()
+{
+    std::string t = ".bb_main.0:\n" + slowChain("RAX", 8) +
+                    "    TEST RAX, RAX\n"
+                    "    JNE .bb_main.1\n"
+                    "    AND RBX, 0b111110000000\n"
+                    "    MOV RDX, qword ptr [R14 + RBX]\n"
+                    "    JMP .bb_main.1\n"
+                    ".bb_main.1:\n" +
+                    trailing();
+    return isa::assemble(t);
+}
+
+isa::Program
+spectreV4()
+{
+    std::string t = ".bb_main.0:\n" + slowChain("RAX", 6) +
+                    "    AND RAX, 0\n"
+                    "    OR RAX, 64\n"
+                    "    MOV qword ptr [R14 + RAX], RDI\n"
+                    "    MOV RBX, qword ptr [R14 + 64]\n"
+                    "    AND RBX, 0b111110000000\n"
+                    "    MOV RDX, qword ptr [R14 + RBX]\n" +
+                    trailing();
+    return isa::assemble(t);
+}
+
+bool
+leaks(defense::DefenseKind kind, bool patched, const isa::Program &prog,
+      bool reg_secret, bool v4)
+{
+    executor::HarnessConfig cfg;
+    cfg.defense = patched ? defense::DefenseConfig::patched(kind)
+                          : defense::DefenseConfig{};
+    cfg.defense.kind = kind;
+    cfg.prime = (kind == defense::DefenseKind::CleanupSpec ||
+                 kind == defense::DefenseKind::SpecLfb)
+                    ? executor::PrimeMode::Invalidate
+                    : executor::PrimeMode::ConflictFill;
+    cfg.bootInsts = 2000;
+
+    executor::SimHarness harness(cfg);
+    const isa::FlatProgram fp(prog, cfg.map.codeBase);
+    harness.loadProgram(&fp);
+
+    arch::Input a;
+    a.regs.fill(0);
+    a.regs[isa::regIndex(isa::Reg::Rcx)] = 0x200;
+    a.sandbox.assign(cfg.map.sandboxSize(), 0);
+    a.sandbox[0] = 3;
+    a.sandbox[8] = 7;
+    arch::Input b = a;
+    b.id = 1;
+    if (reg_secret) {
+        a.regs[isa::regIndex(isa::Reg::Rbx)] = 0x080;
+        b.regs[isa::regIndex(isa::Reg::Rbx)] = 0x780;
+    } else if (v4) {
+        a.sandbox[0x41] = 0x01;
+        b.sandbox[0x41] = 0x07;
+    } else {
+        a.sandbox[0x201] = 0x01;
+        b.sandbox[0x201] = 0x07;
+    }
+
+    const auto ta = harness.runInput(a).trace;
+    const auto tb = harness.runInput(b).trace;
+    return !(ta == tb);
+}
+
+} // namespace
+
+int
+main()
+{
+    using defense::DefenseKind;
+
+    const isa::Program v1_mem = spectreV1Mem();
+    const isa::Program v1_reg = spectreV1Reg();
+    const isa::Program v4 = spectreV4();
+
+    std::printf("Hand-written Spectre attacks vs. every countermeasure\n");
+    std::printf("(LEAK = final L1D+TLB state differs for two "
+                "contract-equivalent inputs)\n\n");
+    std::printf("%-22s %-14s %-14s %-14s\n", "target",
+                "v1 (mem secret)", "v1 (reg secret)", "v4 (store bypass)");
+
+    for (DefenseKind kind : defense::allDefenseKinds()) {
+        for (bool patched : {false, true}) {
+            if (kind == DefenseKind::Baseline && patched)
+                continue;
+            std::string name = defense::defenseKindName(kind);
+            if (kind != DefenseKind::Baseline)
+                name += patched ? " (patched)" : " (as published)";
+            std::printf("%-22s %-14s %-14s %-14s\n", name.c_str(),
+                        leaks(kind, patched, v1_mem, false, false)
+                            ? "LEAK" : "ok",
+                        leaks(kind, patched, v1_reg, true, false)
+                            ? "LEAK" : "ok",
+                        leaks(kind, patched, v4, false, true)
+                            ? "LEAK" : "ok");
+        }
+    }
+    std::printf(
+        "\nExpected:\n"
+        " - the baseline leaks all three patterns;\n"
+        " - as-published InvisiSpec leaks via UV1 speculative evictions "
+        "(fixed by the patch);\n"
+        " - as-published SpecLFB leaks register secrets via UV6 (fixed "
+        "by the patch);\n"
+        " - CleanupSpec rolls these plain-load patterns back (its bugs "
+        "need stores/splits/aliasing);\n"
+        " - STT leaks *register* secrets by design in both variants: "
+        "pre-existing register state is\n   untainted, which is why the "
+        "paper tests STT against ARCH-SEQ (registers exposed in the\n"
+        "   contract) rather than CT-SEQ.\n");
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Reference architectural emulator (the Unicorn substitute).
+ *
+ * Executes a flattened test program instruction-by-instruction on an
+ * ArchState, exposing per-step effects for observation by the leakage
+ * model, plus checkpoint/rollback support so the model can explore
+ * mispredicted paths (CT-COND) with an undo journal instead of copying
+ * memory.
+ */
+
+#ifndef AMULET_ARCH_EMULATOR_HH
+#define AMULET_ARCH_EMULATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/arch_state.hh"
+#include "common/types.hh"
+#include "isa/program.hh"
+
+namespace amulet::arch
+{
+
+/** Effects of the most recently executed instruction. */
+struct StepEffects
+{
+    Addr pc = 0;
+    std::size_t idx = 0;
+    bool didLoad = false;
+    bool didStore = false;
+    Addr memAddr = 0;
+    unsigned memSize = 0;
+    std::uint64_t loadValue = 0;   ///< value read (pre-RMW for RMW ops)
+    bool isBranch = false;
+    bool branchTaken = false;
+    Addr branchTarget = 0;         ///< resolved next PC for branches
+    bool halted = false;
+};
+
+/** Deterministic architectural executor with speculation checkpoints. */
+class Emulator
+{
+  public:
+    /**
+     * @param prog  flattened program (must outlive the emulator)
+     * @param state initial architectural state (copied in)
+     */
+    Emulator(const isa::FlatProgram &prog, ArchState state);
+
+    /** Execute one instruction. Returns false once halted. */
+    bool step();
+
+    /** Run to completion (or until @p max_steps). Returns steps taken. */
+    std::size_t run(std::size_t max_steps = kDefaultMaxSteps);
+
+    /** Effects of the last step(). */
+    const StepEffects &lastStep() const { return last_; }
+
+    bool halted() const { return halted_; }
+
+    ArchState &state() { return state_; }
+    const ArchState &state() const { return state_; }
+
+    const isa::FlatProgram &program() const { return prog_; }
+
+    /** @name Speculative exploration (leakage-model support)
+     *  Checkpoints nest; stores made while any checkpoint is active are
+     *  journaled and undone on rollback. */
+    /// @{
+    void pushCheckpoint();
+    void rollbackCheckpoint();
+    unsigned checkpointDepth() const
+    {
+        return static_cast<unsigned>(checkpoints_.size());
+    }
+    /// @}
+
+    /** Force the next instruction index (used to follow a wrong path). */
+    void redirect(std::size_t idx);
+
+    /** Hard cap on architectural steps (programs are DAGs, so this is a
+     *  safety net, not a semantic limit). */
+    static constexpr std::size_t kDefaultMaxSteps = 100000;
+
+  private:
+    struct Checkpoint
+    {
+        std::array<RegVal, isa::kNumRegs> regs;
+        isa::Flags flags;
+        std::size_t nextIdx;
+        bool halted;
+        std::size_t journalMark;
+    };
+
+    struct JournalEntry
+    {
+        Addr addr;
+        std::uint8_t oldByte;
+    };
+
+    void memWrite(Addr addr, unsigned size, std::uint64_t value);
+
+    const isa::FlatProgram &prog_;
+    ArchState state_;
+    StepEffects last_;
+    bool halted_ = false;
+    std::vector<Checkpoint> checkpoints_;
+    std::vector<JournalEntry> journal_;
+};
+
+} // namespace amulet::arch
+
+#endif // AMULET_ARCH_EMULATOR_HH

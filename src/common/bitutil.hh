@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used across the simulator.
+ */
+
+#ifndef AMULET_COMMON_BITUTIL_HH
+#define AMULET_COMMON_BITUTIL_HH
+
+#include <cassert>
+#include <cstdint>
+
+namespace amulet
+{
+
+/** True iff @p x is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** floor(log2(x)) for x > 0. */
+constexpr unsigned
+floorLog2(std::uint64_t x)
+{
+    assert(x > 0);
+    unsigned l = 0;
+    while (x >>= 1)
+        ++l;
+    return l;
+}
+
+/** Align @p addr down to a multiple of power-of-two @p align. */
+constexpr std::uint64_t
+alignDown(std::uint64_t addr, std::uint64_t align)
+{
+    assert(isPowerOfTwo(align));
+    return addr & ~(align - 1);
+}
+
+/** Align @p addr up to a multiple of power-of-two @p align. */
+constexpr std::uint64_t
+alignUp(std::uint64_t addr, std::uint64_t align)
+{
+    assert(isPowerOfTwo(align));
+    return (addr + align - 1) & ~(align - 1);
+}
+
+/** Mask with the low @p bits set (bits in [0, 64]). */
+constexpr std::uint64_t
+lowMask(unsigned bits)
+{
+    return bits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << bits) - 1);
+}
+
+/** Sign-extend the low @p bits of @p value to 64 bits. */
+constexpr std::int64_t
+signExtend(std::uint64_t value, unsigned bits)
+{
+    assert(bits >= 1 && bits <= 64);
+    if (bits == 64)
+        return static_cast<std::int64_t>(value);
+    const std::uint64_t sign = std::uint64_t{1} << (bits - 1);
+    value &= lowMask(bits);
+    return static_cast<std::int64_t>((value ^ sign) - sign);
+}
+
+/** Truncate @p value to @p size bytes (size in {1,2,4,8}). */
+constexpr std::uint64_t
+truncateToSize(std::uint64_t value, unsigned size)
+{
+    return size >= 8 ? value : (value & lowMask(size * 8));
+}
+
+/** 64-bit mix hash (SplitMix64 finalizer); used for trace hashing. */
+constexpr std::uint64_t
+mixHash(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+/** Combine a hash accumulator with one value. */
+constexpr std::uint64_t
+hashCombine(std::uint64_t acc, std::uint64_t value)
+{
+    return mixHash(acc ^ (value + 0x9e3779b97f4a7c15ULL + (acc << 6) +
+                          (acc >> 2)));
+}
+
+} // namespace amulet
+
+#endif // AMULET_COMMON_BITUTIL_HH

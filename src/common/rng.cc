@@ -1,0 +1,110 @@
+#include "common/rng.hh"
+
+#include <cassert>
+
+namespace amulet
+{
+
+namespace
+{
+
+std::uint64_t
+splitMix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    // Expand the seed with SplitMix64 as recommended by the xoshiro authors;
+    // guarantees a non-zero state for any seed.
+    std::uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitMix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    if (bound == 0)
+        return 0;
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (-bound) % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::uint64_t
+Rng::nextRange(std::uint64_t lo, std::uint64_t hi)
+{
+    assert(lo <= hi);
+    return lo + nextBelow(hi - lo + 1);
+}
+
+bool
+Rng::chance(std::uint64_t num, std::uint64_t den)
+{
+    assert(den > 0);
+    return nextBelow(den) < num;
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::size_t
+Rng::pickWeighted(const std::vector<std::uint32_t> &weights)
+{
+    std::uint64_t total = 0;
+    for (auto w : weights)
+        total += w;
+    assert(total > 0 && "pickWeighted requires a non-zero total weight");
+    std::uint64_t r = nextBelow(total);
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        if (r < weights[i])
+            return i;
+        r -= weights[i];
+    }
+    return weights.size() - 1; // unreachable
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next() ^ 0x9e3779b97f4a7c15ULL);
+}
+
+} // namespace amulet

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Tiny descriptive-statistics accumulator for campaign reporting.
+ */
+
+#ifndef AMULET_COMMON_STATS_HH
+#define AMULET_COMMON_STATS_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace amulet
+{
+
+/** Accumulates samples and reports count/mean/min/max/percentiles. */
+class SampleStats
+{
+  public:
+    void add(double v) { samples_.push_back(v); }
+
+    std::size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    double
+    sum() const
+    {
+        double s = 0;
+        for (double v : samples_)
+            s += v;
+        return s;
+    }
+
+    double mean() const { return empty() ? 0.0 : sum() / count(); }
+
+    double
+    min() const
+    {
+        return empty() ? 0.0
+                       : *std::min_element(samples_.begin(), samples_.end());
+    }
+
+    double
+    max() const
+    {
+        return empty() ? 0.0
+                       : *std::max_element(samples_.begin(), samples_.end());
+    }
+
+    /** p in [0,1]; nearest-rank percentile. */
+    double
+    percentile(double p) const
+    {
+        if (empty())
+            return 0.0;
+        std::vector<double> sorted = samples_;
+        std::sort(sorted.begin(), sorted.end());
+        const auto rank = static_cast<std::size_t>(p * (sorted.size() - 1));
+        return sorted[rank];
+    }
+
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    std::vector<double> samples_;
+};
+
+} // namespace amulet
+
+#endif // AMULET_COMMON_STATS_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every AMuLeT subsystem.
+ */
+
+#ifndef AMULET_COMMON_TYPES_HH
+#define AMULET_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace amulet
+{
+
+/** Virtual or physical byte address in the guest. */
+using Addr = std::uint64_t;
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Dynamic-instruction sequence number (program order, 1-based). */
+using SeqNum = std::uint64_t;
+
+/** 64-bit register value. */
+using RegVal = std::uint64_t;
+
+/** Invalid/absent address sentinel. */
+inline constexpr Addr kNoAddr = ~static_cast<Addr>(0);
+
+/** Invalid sequence number sentinel. */
+inline constexpr SeqNum kNoSeq = 0;
+
+} // namespace amulet
+
+#endif // AMULET_COMMON_TYPES_HH

@@ -1,0 +1,82 @@
+#include "contracts/contract.hh"
+
+#include <sstream>
+
+namespace amulet::contracts
+{
+
+std::string
+ContractSpec::describeLeakageClause() const
+{
+    std::ostringstream os;
+    bool first = true;
+    auto add = [&](const char *s) {
+        if (!first)
+            os << ", ";
+        os << s;
+        first = false;
+    };
+    if (observePc)
+        add("PC");
+    if (observeMemAddr)
+        add("LD/ST ADDR");
+    if (observeLoadValues)
+        add("LD values");
+    return os.str();
+}
+
+std::string
+ContractSpec::describeExecutionClause() const
+{
+    if (!exploreMispredictedBranches)
+        return "N/A";
+    std::ostringstream os;
+    os << "Mispredicted Branches (window=" << speculationWindow
+       << ", nesting=" << maxNesting << ")";
+    return os.str();
+}
+
+ContractSpec
+ctSeq()
+{
+    ContractSpec c;
+    c.name = "CT-SEQ";
+    return c;
+}
+
+ContractSpec
+ctCond()
+{
+    ContractSpec c;
+    c.name = "CT-COND";
+    c.exploreMispredictedBranches = true;
+    return c;
+}
+
+ContractSpec
+archSeq()
+{
+    ContractSpec c;
+    c.name = "ARCH-SEQ";
+    c.observeLoadValues = true;
+    c.exposeInitialRegs = true;
+    return c;
+}
+
+std::optional<ContractSpec>
+findContract(const std::string &name)
+{
+    for (const auto &c : allContracts()) {
+        if (c.name == name)
+            return c;
+    }
+    return std::nullopt;
+}
+
+std::vector<ContractSpec>
+allContracts()
+{
+    return {ctSeq(), ctCond(), archSeq()};
+}
+
+} // namespace amulet::contracts

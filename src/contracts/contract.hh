@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Leakage contracts (Guarnieri et al.) and the contract registry.
+ *
+ * A contract is described by an observation clause (what each instruction
+ * leaks) and an execution clause (which speculative paths are considered
+ * architecturally "expected"). Table 1 of the paper defines the three
+ * contracts used in its evaluation; all are expressible as ContractSpec
+ * configurations of the single executable leakage model.
+ */
+
+#ifndef AMULET_CONTRACTS_CONTRACT_HH
+#define AMULET_CONTRACTS_CONTRACT_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "contracts/observation.hh"
+
+namespace amulet::contracts
+{
+
+/** Declarative description of a leakage contract. */
+struct ContractSpec
+{
+    std::string name;
+
+    /** @name Observation clause */
+    /// @{
+    bool observePc = true;         ///< expose committed program counters
+    bool observeMemAddr = true;    ///< expose load/store addresses
+    bool observeLoadValues = false;///< expose loaded values (ARCH-SEQ)
+    /** Treat initial register values as exposed: inputs in one
+     *  equivalence class must then have identical registers. ARCH-SEQ
+     *  sets this, which is how the paper filters register-value leaks
+     *  (e.g. SpecLFB UV6) at the contract level. */
+    bool exposeInitialRegs = false;
+    /// @}
+
+    /** @name Execution clause */
+    /// @{
+    /** Explore both directions of conditional branches (CT-COND). */
+    bool exploreMispredictedBranches = false;
+    /** Max instructions executed down one mispredicted path. Must cover
+     *  the target's reorder-buffer depth, or leaks on wrong paths deeper
+     *  than the window register as (window-mismatch) violations. */
+    unsigned speculationWindow = 256;
+    /** Max nesting depth of explored mispredictions. */
+    unsigned maxNesting = 4;
+    /// @}
+
+    /** One-line summary for Table 1 style output. */
+    std::string describeLeakageClause() const;
+    std::string describeExecutionClause() const;
+};
+
+/** The contracts used in the paper's evaluation (Table 1). */
+ContractSpec ctSeq();
+ContractSpec ctCond();
+ContractSpec archSeq();
+
+/** Look up a contract by name ("CT-SEQ", "CT-COND", "ARCH-SEQ"). */
+std::optional<ContractSpec> findContract(const std::string &name);
+
+/** All registered contracts. */
+std::vector<ContractSpec> allContracts();
+
+} // namespace amulet::contracts
+
+#endif // AMULET_CONTRACTS_CONTRACT_HH

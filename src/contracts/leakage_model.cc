@@ -1,0 +1,165 @@
+#include "contracts/leakage_model.hh"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace amulet::contracts
+{
+
+std::string
+formatCTrace(const CTrace &trace)
+{
+    std::ostringstream os;
+    unsigned depth = 0;
+    auto indent = [&]() {
+        for (unsigned i = 0; i < depth; ++i)
+            os << "  ";
+    };
+    for (const Obs &o : trace) {
+        switch (o.kind) {
+          case Obs::Kind::Pc:
+            indent();
+            os << "pc 0x" << std::hex << o.value << std::dec << "\n";
+            break;
+          case Obs::Kind::LoadAddr:
+            indent();
+            os << "load 0x" << std::hex << o.value << std::dec << "\n";
+            break;
+          case Obs::Kind::StoreAddr:
+            indent();
+            os << "store 0x" << std::hex << o.value << std::dec << "\n";
+            break;
+          case Obs::Kind::LoadVal:
+            indent();
+            os << "val 0x" << std::hex << o.value << std::dec << "\n";
+            break;
+          case Obs::Kind::SpecStart:
+            indent();
+            os << "spec {\n";
+            ++depth;
+            break;
+          case Obs::Kind::SpecEnd:
+            if (depth)
+                --depth;
+            indent();
+            os << "}\n";
+            break;
+        }
+    }
+    return os.str();
+}
+
+void
+LeakageModel::observeStep(const arch::StepEffects &fx, CTrace &trace) const
+{
+    if (spec_.observePc)
+        trace.push_back({Obs::Kind::Pc, fx.pc});
+    if (fx.didLoad && spec_.observeMemAddr)
+        trace.push_back({Obs::Kind::LoadAddr, fx.memAddr});
+    if (fx.didLoad && spec_.observeLoadValues)
+        trace.push_back({Obs::Kind::LoadVal, fx.loadValue});
+    if (fx.didStore && spec_.observeMemAddr)
+        trace.push_back({Obs::Kind::StoreAddr, fx.memAddr});
+}
+
+void
+LeakageModel::explore(arch::Emulator &emu, CTrace &trace, unsigned depth,
+                      std::size_t wrong_idx) const
+{
+    trace.push_back({Obs::Kind::SpecStart, depth});
+    emu.pushCheckpoint();
+    emu.redirect(wrong_idx);
+    runPath(emu, trace, depth, spec_.speculationWindow);
+    emu.rollbackCheckpoint();
+    trace.push_back({Obs::Kind::SpecEnd, depth});
+}
+
+void
+LeakageModel::runPath(arch::Emulator &emu, CTrace &trace, unsigned depth,
+                      std::size_t budget) const
+{
+    for (std::size_t steps = 0; steps < budget && !emu.halted(); ++steps) {
+        const std::size_t idx = emu.state().nextIdx;
+        const bool is_cond = emu.program().inst(idx).isCondBranch();
+        const bool alive = emu.step();
+        observeStep(emu.lastStep(), trace);
+        if (!alive)
+            break;
+        if (is_cond && depth < spec_.maxNesting) {
+            const auto &fx = emu.lastStep();
+            const std::size_t wrong = fx.branchTaken
+                                          ? idx + 1
+                                          : emu.program().targetIdx(idx);
+            explore(emu, trace, depth + 1, wrong);
+        }
+    }
+}
+
+CTrace
+LeakageModel::collect(const isa::FlatProgram &prog, const arch::Input &input,
+                      const mem::AddressMap &map) const
+{
+    arch::ArchState st;
+    st.loadInput(input, map);
+    arch::Emulator emu(prog, std::move(st));
+
+    CTrace trace;
+    std::size_t guard = arch::Emulator::kDefaultMaxSteps;
+    while (!emu.halted() && guard-- > 0) {
+        const std::size_t idx = emu.state().nextIdx;
+        const bool is_cond = prog.inst(idx).isCondBranch();
+        const bool alive = emu.step();
+        observeStep(emu.lastStep(), trace);
+        if (!alive)
+            break;
+        if (is_cond && spec_.exploreMispredictedBranches &&
+            spec_.maxNesting > 0) {
+            const auto &fx = emu.lastStep();
+            const std::size_t wrong =
+                fx.branchTaken ? idx + 1 : prog.targetIdx(idx);
+            explore(emu, trace, 1, wrong);
+        }
+    }
+    return trace;
+}
+
+std::vector<std::size_t>
+LeakageModel::archReadOffsets(const isa::FlatProgram &prog,
+                              const arch::Input &input,
+                              const mem::AddressMap &map) const
+{
+    arch::ArchState st;
+    st.loadInput(input, map);
+    arch::Emulator emu(prog, std::move(st));
+
+    std::vector<std::size_t> offsets;
+    std::set<Addr> written;
+    std::size_t guard = arch::Emulator::kDefaultMaxSteps;
+    while (guard-- > 0) {
+        const bool alive = emu.step();
+        const auto &fx = emu.lastStep();
+        if (fx.didLoad) {
+            for (unsigned i = 0; i < fx.memSize; ++i) {
+                const Addr a = fx.memAddr + i;
+                // A byte overwritten before this read does not expose its
+                // *initial* value; siblings may randomize it. (This is
+                // what leaves Spectre-v4's stale values mutable.)
+                if (map.inSandbox(a) && !written.count(a))
+                    offsets.push_back(a - map.sandboxBase);
+            }
+        }
+        if (fx.didStore) {
+            for (unsigned i = 0; i < fx.memSize; ++i)
+                written.insert(fx.memAddr + i);
+        }
+        if (!alive)
+            break;
+    }
+    std::sort(offsets.begin(), offsets.end());
+    offsets.erase(std::unique(offsets.begin(), offsets.end()),
+                  offsets.end());
+    return offsets;
+}
+
+} // namespace amulet::contracts

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Executable leakage model: collects contract traces by running test cases
+ * on the reference emulator (§2.4 "Collecting contract traces").
+ *
+ * The observation clause is applied at each retired instruction; the
+ * execution clause (CT-COND) is realized by forking a checkpointed wrong
+ * path at every conditional branch, executing it for a bounded window
+ * (with bounded nesting), recording its observations between SpecStart /
+ * SpecEnd markers, and rolling back.
+ */
+
+#ifndef AMULET_CONTRACTS_LEAKAGE_MODEL_HH
+#define AMULET_CONTRACTS_LEAKAGE_MODEL_HH
+
+#include "arch/arch_state.hh"
+#include "arch/emulator.hh"
+#include "arch/input.hh"
+#include "contracts/contract.hh"
+#include "contracts/observation.hh"
+#include "isa/program.hh"
+#include "mem/address_map.hh"
+
+namespace amulet::contracts
+{
+
+/** Collects contract traces per a ContractSpec. */
+class LeakageModel
+{
+  public:
+    explicit LeakageModel(ContractSpec spec) : spec_(std::move(spec)) {}
+
+    const ContractSpec &spec() const { return spec_; }
+
+    /**
+     * Contract trace of @p prog on @p input under layout @p map.
+     * Deterministic: equal (prog, input) pairs give equal traces.
+     */
+    CTrace collect(const isa::FlatProgram &prog, const arch::Input &input,
+                   const mem::AddressMap &map) const;
+
+    /**
+     * The set of sandbox byte offsets read architecturally (used by the
+     * input generator to build contract-equivalent siblings for value-
+     * observing contracts).
+     */
+    std::vector<std::size_t> archReadOffsets(const isa::FlatProgram &prog,
+                                             const arch::Input &input,
+                                             const mem::AddressMap &map)
+        const;
+
+  private:
+    void observeStep(const arch::StepEffects &fx, CTrace &trace) const;
+    void explore(arch::Emulator &emu, CTrace &trace, unsigned depth,
+                 std::size_t wrong_idx) const;
+    void runPath(arch::Emulator &emu, CTrace &trace, unsigned depth,
+                 std::size_t budget) const;
+
+    ContractSpec spec_;
+};
+
+} // namespace amulet::contracts
+
+#endif // AMULET_CONTRACTS_LEAKAGE_MODEL_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Contract-trace observations.
+ *
+ * A contract trace is the sequence of ISA-level observations a leakage
+ * contract allows an attacker to learn (§2.1). Traces compare for exact
+ * equality (Definition 2.1) and hash for fast equivalence-class grouping.
+ */
+
+#ifndef AMULET_CONTRACTS_OBSERVATION_HH
+#define AMULET_CONTRACTS_OBSERVATION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitutil.hh"
+#include "common/types.hh"
+
+namespace amulet::contracts
+{
+
+/** One ISA-level observation. */
+struct Obs
+{
+    enum class Kind : std::uint8_t
+    {
+        Pc,        ///< program counter of a (contract-)executed instruction
+        LoadAddr,  ///< address of a load
+        StoreAddr, ///< address of a store
+        LoadVal,   ///< value loaded from memory (ARCH-SEQ only)
+        SpecStart, ///< begin of an explored mispredicted path (CT-COND)
+        SpecEnd,   ///< end of an explored mispredicted path
+    };
+
+    Kind kind;
+    std::uint64_t value;
+
+    bool operator==(const Obs &) const = default;
+};
+
+/** A contract trace: ordered observations. */
+using CTrace = std::vector<Obs>;
+
+/** Order-sensitive 64-bit hash of a trace. */
+inline std::uint64_t
+hashCTrace(const CTrace &trace)
+{
+    std::uint64_t h = 0x5eed;
+    for (const Obs &o : trace) {
+        h = hashCombine(h, static_cast<std::uint64_t>(o.kind));
+        h = hashCombine(h, o.value);
+    }
+    return h;
+}
+
+/** Human-readable rendering (for reports and tests). */
+std::string formatCTrace(const CTrace &trace);
+
+} // namespace amulet::contracts
+
+#endif // AMULET_CONTRACTS_OBSERVATION_HH

@@ -1,0 +1,84 @@
+#include "core/analyzer.hh"
+
+#include <unordered_map>
+
+namespace amulet::core
+{
+
+std::size_t
+EquivalenceClasses::effectiveClasses() const
+{
+    std::size_t n = 0;
+    for (const auto &cls : classes) {
+        if (cls.size() >= 2)
+            ++n;
+    }
+    return n;
+}
+
+EquivalenceClasses
+groupByCTrace(const std::vector<contracts::CTrace> &ctraces)
+{
+    EquivalenceClasses out;
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets;
+    std::vector<std::uint64_t> order; // deterministic class order
+    for (std::size_t i = 0; i < ctraces.size(); ++i) {
+        const std::uint64_t h = contracts::hashCTrace(ctraces[i]);
+        auto [it, inserted] = buckets.try_emplace(h);
+        if (inserted)
+            order.push_back(h);
+        it->second.push_back(i);
+    }
+    for (std::uint64_t h : order) {
+        auto &bucket = buckets[h];
+        // Hash buckets are verified exactly: split on true inequality to
+        // rule out (unlikely) hash collisions.
+        while (!bucket.empty()) {
+            std::vector<std::size_t> cls;
+            std::vector<std::size_t> rest;
+            const contracts::CTrace &ref = ctraces[bucket.front()];
+            for (std::size_t idx : bucket) {
+                if (ctraces[idx] == ref)
+                    cls.push_back(idx);
+                else
+                    rest.push_back(idx);
+            }
+            out.classes.push_back(std::move(cls));
+            bucket = std::move(rest);
+        }
+    }
+    return out;
+}
+
+AnalysisResult
+findCandidates(const EquivalenceClasses &classes,
+               const std::vector<executor::UTrace> &traces)
+{
+    AnalysisResult result;
+    for (const auto &cls : classes.classes) {
+        if (cls.size() < 2)
+            continue;
+        const std::size_t rep = cls.front();
+        std::vector<std::size_t> distinct_deviants;
+        for (std::size_t i = 1; i < cls.size(); ++i) {
+            const std::size_t idx = cls[i];
+            if (traces[idx] == traces[rep])
+                continue;
+            ++result.violatingTestCases;
+            bool seen = false;
+            for (std::size_t d : distinct_deviants) {
+                if (traces[d] == traces[idx]) {
+                    seen = true;
+                    break;
+                }
+            }
+            if (!seen) {
+                distinct_deviants.push_back(idx);
+                result.candidates.push_back({rep, idx});
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace amulet::core

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Relational analysis: equivalence classes and candidate violations
+ * (Definition 2.1).
+ *
+ * Inputs with equal contract traces form an equivalence class; within a
+ * class, any μarch-trace difference is a candidate violation (validated
+ * afterwards by context-swapped re-runs, §3.2).
+ */
+
+#ifndef AMULET_CORE_ANALYZER_HH
+#define AMULET_CORE_ANALYZER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "contracts/observation.hh"
+#include "executor/uarch_trace.hh"
+
+namespace amulet::core
+{
+
+/** Groups of input indices with identical contract traces. */
+struct EquivalenceClasses
+{
+    std::vector<std::vector<std::size_t>> classes;
+
+    /** Classes with at least two members (usable for relational tests). */
+    std::size_t effectiveClasses() const;
+};
+
+/** Group inputs by exact contract-trace equality. */
+EquivalenceClasses groupByCTrace(
+    const std::vector<contracts::CTrace> &ctraces);
+
+/** A candidate violation: two same-class inputs with differing traces. */
+struct CandidatePair
+{
+    std::size_t a;
+    std::size_t b;
+};
+
+/** Analysis outcome over one test program. */
+struct AnalysisResult
+{
+    /** One representative pair per distinct deviating trace per class. */
+    std::vector<CandidatePair> candidates;
+    /** Total inputs whose trace deviates from their class representative
+     *  (the paper's "number of violating test cases"). */
+    std::size_t violatingTestCases = 0;
+};
+
+/** Find candidate violations within the equivalence classes. */
+AnalysisResult findCandidates(const EquivalenceClasses &classes,
+                              const std::vector<executor::UTrace> &traces);
+
+} // namespace amulet::core
+
+#endif // AMULET_CORE_ANALYZER_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Campaign orchestrator: the AMuLeT fuzzing loop (Figure 1).
+ *
+ * Per round: generate a random program and a set of inputs (bases plus
+ * contract-preserving siblings, including model-verified register
+ * mutations), collect contract traces on the leakage model and μarch
+ * traces on the executor, group inputs into contract equivalence classes,
+ * flag within-class trace differences, validate candidates by re-running
+ * with swapped μarch contexts, and bucket confirmed violations by
+ * signature.
+ */
+
+#ifndef AMULET_CORE_CAMPAIGN_HH
+#define AMULET_CORE_CAMPAIGN_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "contracts/contract.hh"
+#include "core/generator.hh"
+#include "core/input_gen.hh"
+#include "core/violation.hh"
+#include "executor/sim_harness.hh"
+
+namespace amulet::core
+{
+
+/** Campaign configuration. */
+struct CampaignConfig
+{
+    executor::HarnessConfig harness;
+    contracts::ContractSpec contract = contracts::ctSeq();
+    GeneratorConfig gen;
+    InputGenConfig inputs;
+
+    unsigned numPrograms = 50;
+    unsigned baseInputsPerProgram = 8;
+    unsigned siblingsPerBase = 4; ///< inputs/program = bases * (1+siblings)
+    /** Percentage of siblings that additionally try a model-verified
+     *  register mutation (needed to catch register-secret leaks such as
+     *  SpecLFB UV6). */
+    unsigned regMutationPct = 70;
+
+    bool stopAtFirstViolation = false;
+    bool collectSignatures = true;
+    /** Also extract every other trace format per run (Table 5 overlap
+     *  analysis). */
+    bool collectAllFormats = false;
+    unsigned maxViolationsRecorded = 32;
+    std::uint64_t seed = 1;
+};
+
+/** Per-trace-format tallies for the all-formats mode. */
+struct FormatTally
+{
+    std::uint64_t violatingTestCases = 0;
+    std::uint64_t coveredByBaseline = 0; ///< also flagged by L1D+TLB
+};
+
+/** Campaign outcome. */
+struct CampaignStats
+{
+    unsigned programs = 0;
+    std::uint64_t testCases = 0;
+    std::uint64_t effectiveClasses = 0;
+    std::uint64_t candidateViolations = 0;
+    std::uint64_t validationRuns = 0;
+    std::uint64_t violatingTestCases = 0;
+    std::uint64_t confirmedViolations = 0;
+    std::vector<ViolationRecord> records;
+    std::map<std::string, std::uint64_t> signatureCounts;
+    double wallSeconds = 0;
+    double firstDetectSeconds = -1; ///< <0: nothing detected
+    executor::TimeBreakdown times;
+    std::map<executor::TraceFormat, FormatTally> formatTallies;
+
+    bool detected() const { return confirmedViolations > 0; }
+    std::size_t uniqueViolations() const { return signatureCounts.size(); }
+    double
+    throughput() const
+    {
+        return wallSeconds > 0 ? static_cast<double>(testCases) /
+                                     wallSeconds
+                               : 0;
+    }
+
+    /** Multi-line human-readable report. */
+    std::string report() const;
+};
+
+/** The fuzzing campaign. */
+class Campaign
+{
+  public:
+    explicit Campaign(CampaignConfig config);
+
+    /** Run the whole campaign. */
+    CampaignStats run();
+
+  private:
+    CampaignConfig cfg_;
+};
+
+} // namespace amulet::core
+
+#endif // AMULET_CORE_CAMPAIGN_HH

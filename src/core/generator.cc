@@ -1,0 +1,229 @@
+#include "core/generator.hh"
+
+#include <array>
+
+namespace amulet::core
+{
+
+using isa::Cond;
+using isa::Inst;
+using isa::Op;
+using isa::OpndKind;
+using isa::Reg;
+
+namespace
+{
+
+/// Registers the generator may use: everything except the sandbox base
+/// (R14), the stack pointer, and R15 (reserved for harness programs).
+constexpr std::array<Reg, 12> kGprPool = {
+    Reg::Rax, Reg::Rbx, Reg::Rcx, Reg::Rdx, Reg::Rsi, Reg::Rdi,
+    Reg::R8,  Reg::R9,  Reg::R10, Reg::R11, Reg::R12, Reg::R13,
+};
+
+} // namespace
+
+Reg
+ProgramGenerator::randomGpr()
+{
+    return kGprPool[rng_.pickIndex(kGprPool.size())];
+}
+
+unsigned
+ProgramGenerator::randomWidth()
+{
+    static constexpr std::array<unsigned, 4> widths = {1, 2, 4, 8};
+    return widths[rng_.pickWeighted(cfg_.widthWeights)];
+}
+
+Cond
+ProgramGenerator::randomCond()
+{
+    return static_cast<Cond>(rng_.pickIndex(isa::kNumConds));
+}
+
+Inst
+ProgramGenerator::randomAluInst()
+{
+    static constexpr std::array<Op, 13> ops = {
+        Op::Mov, Op::Add, Op::Sub, Op::And, Op::Or,  Op::Xor, Op::Imul,
+        Op::Shl, Op::Shr, Op::Sar, Op::Cmp, Op::Test, Op::Neg,
+    };
+    Inst inst;
+    inst.op = ops[rng_.pickIndex(ops.size())];
+    inst.width = static_cast<std::uint8_t>(randomWidth());
+    inst.dstKind = OpndKind::Reg;
+    inst.dst = randomGpr();
+    if (inst.op == Op::Neg) {
+        inst.srcKind = OpndKind::None;
+        return inst;
+    }
+    if (inst.op == Op::Shl || inst.op == Op::Shr || inst.op == Op::Sar) {
+        // Shift counts are small immediates (avoids zero-count x86
+        // flag-preservation subtleties by construction: 1..7).
+        inst.srcKind = OpndKind::Imm;
+        inst.imm = static_cast<std::int64_t>(rng_.nextRange(1, 7));
+        return inst;
+    }
+    if (rng_.chance(40, 100)) {
+        inst.srcKind = OpndKind::Imm;
+        inst.imm = static_cast<std::int64_t>(rng_.nextBelow(1 << 12));
+    } else {
+        inst.srcKind = OpndKind::Reg;
+        inst.src = randomGpr();
+    }
+    return inst;
+}
+
+void
+ProgramGenerator::emitMaskedMemAccess(std::vector<isa::Inst> &body)
+{
+    const Reg index = randomGpr();
+    const unsigned width = randomWidth();
+
+    // Mask the index register into the sandbox (the paper's idiom). The
+    // mask is aligned down so that an in-sandbox displacement can be added
+    // without escaping the (guarded) sandbox region.
+    Inst mask;
+    mask.op = Op::And;
+    mask.width = 8;
+    mask.dstKind = OpndKind::Reg;
+    mask.dst = index;
+    mask.srcKind = OpndKind::Imm;
+    mask.imm = static_cast<std::int64_t>(cfg_.map.sandboxMask());
+    body.push_back(mask);
+
+    isa::MemRef mem;
+    mem.base = isa::kSandboxBaseReg;
+    mem.hasIndex = true;
+    mem.index = index;
+    mem.disp = 0;
+    if (rng_.chance(cfg_.unalignedPct, 100)) {
+        // Unaligned displacement: the access may cross a cache line
+        // (split request), which is what CleanupSpec UV4 needs.
+        mem.disp = static_cast<std::int32_t>(rng_.nextRange(57, 63));
+    }
+
+    const bool is_store = rng_.chance(cfg_.storePct, 100);
+    const bool is_rmw = rng_.chance(cfg_.rmwPct, 100);
+
+    Inst access;
+    access.width = static_cast<std::uint8_t>(width);
+    access.mem = mem;
+    if (is_store && is_rmw) {
+        static constexpr std::array<Op, 4> rmw_ops = {Op::Add, Op::And,
+                                                      Op::Or, Op::Xor};
+        access.op = rmw_ops[rng_.pickIndex(rmw_ops.size())];
+        access.dstKind = OpndKind::Mem;
+        access.srcKind = OpndKind::Reg;
+        access.src = randomGpr();
+        access.lockPrefix = rng_.chance(1, 8);
+    } else if (is_store) {
+        access.op = Op::Mov;
+        access.dstKind = OpndKind::Mem;
+        access.srcKind = OpndKind::Reg;
+        access.src = randomGpr();
+    } else if (rng_.chance(cfg_.cmovLoadPct, 100)) {
+        access.op = Op::Cmov;
+        access.cond = randomCond();
+        access.dstKind = OpndKind::Reg;
+        access.dst = randomGpr();
+        access.srcKind = OpndKind::Mem;
+    } else {
+        access.op = Op::Mov;
+        access.dstKind = OpndKind::Reg;
+        access.dst = randomGpr();
+        access.srcKind = OpndKind::Mem;
+    }
+    body.push_back(access);
+}
+
+Inst
+ProgramGenerator::randomBodyInst()
+{
+    if (rng_.chance(cfg_.setccPct, 100)) {
+        Inst set;
+        set.op = Op::Set;
+        set.cond = randomCond();
+        set.width = 1;
+        set.dstKind = OpndKind::Reg;
+        set.dst = randomGpr();
+        return set;
+    }
+    if (rng_.chance(cfg_.fencePct, 100)) {
+        Inst fence;
+        fence.op = Op::Fence;
+        return fence;
+    }
+    return randomAluInst();
+}
+
+isa::Program
+ProgramGenerator::generate()
+{
+    const unsigned num_blocks = static_cast<unsigned>(
+        rng_.nextRange(cfg_.minBlocks, cfg_.maxBlocks));
+
+    isa::Program prog;
+    for (unsigned b = 0; b < num_blocks; ++b)
+        prog.blocks.push_back({"bb_main." + std::to_string(b), {}});
+
+    for (unsigned b = 0; b < num_blocks; ++b) {
+        auto &body = prog.blocks[b].body;
+        const unsigned n = static_cast<unsigned>(rng_.nextRange(
+            cfg_.minInstsPerBlock, cfg_.maxInstsPerBlock));
+        while (body.size() < n) {
+            if (rng_.chance(cfg_.memAccessPct, 100))
+                emitMaskedMemAccess(body); // emits mask + access
+            else
+                body.push_back(randomBodyInst());
+        }
+
+        // Terminator: optional conditional branch to a random later
+        // block, then an explicit jump to the fall-through successor
+        // (exactly the shape of the paper's listings).
+        const bool has_later = b + 1 < num_blocks;
+        if (has_later && rng_.chance(cfg_.condBranchPct, 100)) {
+            if (rng_.chance(cfg_.branchOnLoadPct, 100)) {
+                // Gate the branch on a loaded value so it resolves late.
+                Reg loaded = Reg::Rax;
+                bool found = false;
+                for (auto it = body.rbegin(); it != body.rend(); ++it) {
+                    if (it->isLoad() && it->dstKind == OpndKind::Reg) {
+                        loaded = it->dst;
+                        found = true;
+                        break;
+                    }
+                }
+                if (found) {
+                    Inst test;
+                    test.op = Op::Test;
+                    test.width = 8;
+                    test.dstKind = OpndKind::Reg;
+                    test.dst = loaded;
+                    test.srcKind = OpndKind::Reg;
+                    test.src = loaded;
+                    body.push_back(test);
+                }
+            }
+            Inst jcc;
+            const unsigned target = static_cast<unsigned>(
+                rng_.nextRange(b + 1, num_blocks - 1));
+            if (rng_.chance(cfg_.loopnePct, 100)) {
+                jcc.op = Op::Loopne;
+            } else {
+                jcc.op = Op::Jcc;
+                jcc.cond = randomCond();
+            }
+            jcc.target = static_cast<int>(target);
+            body.push_back(jcc);
+        }
+        Inst jmp;
+        jmp.op = Op::Jmp;
+        jmp.target = has_later ? static_cast<int>(b + 1) : isa::kTargetExit;
+        body.push_back(jmp);
+    }
+    return prog;
+}
+
+} // namespace amulet::core

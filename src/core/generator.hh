@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Random test-program generator (Revizor-style, §2.4/§3.1).
+ *
+ * Programs are DAGs of up to a few basic blocks linked by forward jumps.
+ * Every memory access is preceded by an AND that masks its index register
+ * into the sandbox (the paper's `AND RBX, 0b111111111111` idiom), so all
+ * architectural and speculative accesses stay inside the sandbox pages.
+ * Instruction mix, widths, and control-flow shape are configurable.
+ */
+
+#ifndef AMULET_CORE_GENERATOR_HH
+#define AMULET_CORE_GENERATOR_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "isa/program.hh"
+#include "mem/address_map.hh"
+
+namespace amulet::core
+{
+
+/** Knobs for the program generator. */
+struct GeneratorConfig
+{
+    unsigned minBlocks = 2;
+    unsigned maxBlocks = 5;       ///< paper: up to 5 basic blocks
+    unsigned minInstsPerBlock = 4;
+    unsigned maxInstsPerBlock = 12;
+
+    /** @name Instruction-mix percentages */
+    /// @{
+    unsigned memAccessPct = 40;   ///< memory op fraction of body insts
+    unsigned storePct = 30;       ///< stores among memory ops
+    unsigned rmwPct = 15;         ///< RMW forms among memory ops
+    unsigned cmovLoadPct = 10;    ///< CMOV-from-memory among loads
+    unsigned fencePct = 2;        ///< LFENCE fraction of body insts
+    unsigned setccPct = 6;        ///< SETcc fraction of body insts
+    unsigned condBranchPct = 80;  ///< block terminator has a Jcc
+    unsigned loopnePct = 10;      ///< Jcc replaced by LOOPNE
+    /** Make the terminator's flags depend on a recently loaded value
+     *  (TEST r, r before the Jcc). Memory-dependent branch conditions
+     *  resolve late, opening the speculation windows the paper's
+     *  violating test cases rely on. */
+    unsigned branchOnLoadPct = 60;
+    /// @}
+
+    /** Allow unaligned offsets so accesses can cross cache lines
+     *  (split requests; reaches CleanupSpec UV4). */
+    unsigned unalignedPct = 15;
+
+    /** Access width weights for {1, 2, 4, 8} bytes. */
+    std::vector<std::uint32_t> widthWeights = {2, 2, 3, 5};
+
+    mem::AddressMap map;
+};
+
+/** Deterministic random program generator. */
+class ProgramGenerator
+{
+  public:
+    ProgramGenerator(GeneratorConfig config, Rng rng)
+        : cfg_(std::move(config)), rng_(rng)
+    {
+    }
+
+    /** Generate one program. */
+    isa::Program generate();
+
+    const GeneratorConfig &config() const { return cfg_; }
+
+  private:
+    isa::Inst randomBodyInst();
+    isa::Inst randomAluInst();
+    void emitMaskedMemAccess(std::vector<isa::Inst> &body);
+    isa::Reg randomGpr();
+    unsigned randomWidth();
+    isa::Cond randomCond();
+
+    GeneratorConfig cfg_;
+    Rng rng_;
+};
+
+} // namespace amulet::core
+
+#endif // AMULET_CORE_GENERATOR_HH

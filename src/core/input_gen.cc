@@ -1,0 +1,46 @@
+#include "core/input_gen.hh"
+
+#include <algorithm>
+#include <cstring>
+
+namespace amulet::core
+{
+
+arch::Input
+InputGenerator::generate(std::uint64_t id)
+{
+    arch::Input input;
+    input.id = id;
+    for (auto &reg : input.regs) {
+        reg = rng_.chance(cfg_.smallRegPct, 100) ? (rng_.next() & 0xffff)
+                                                 : rng_.next();
+    }
+    input.flagsByte = static_cast<std::uint8_t>(rng_.next() & 0x1f);
+    input.sandbox.resize(cfg_.map.sandboxSize());
+    for (std::size_t i = 0; i + 8 <= input.sandbox.size(); i += 8) {
+        const std::uint64_t w = rng_.next();
+        std::memcpy(&input.sandbox[i], &w, 8);
+    }
+    return input;
+}
+
+arch::Input
+InputGenerator::sibling(const arch::Input &base,
+                        const std::vector<std::size_t> &read_offsets,
+                        std::uint64_t id)
+{
+    arch::Input input = base;
+    input.id = id;
+    // Randomize everything, then restore the contract-relevant bytes.
+    for (std::size_t i = 0; i + 8 <= input.sandbox.size(); i += 8) {
+        const std::uint64_t w = rng_.next();
+        std::memcpy(&input.sandbox[i], &w, 8);
+    }
+    for (std::size_t off : read_offsets) {
+        if (off < input.sandbox.size())
+            input.sandbox[off] = base.sandbox[off];
+    }
+    return input;
+}
+
+} // namespace amulet::core

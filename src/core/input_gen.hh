@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Random input generation and contract-preserving sibling mutation
+ * (§2.4 "Input generation").
+ *
+ * Base inputs initialize registers, flags, and the sandbox from a seeded
+ * PRNG. Siblings keep the parts that influence the contract trace —
+ * registers, flags, and the architecturally-read sandbox bytes — while
+ * randomizing the rest, so that equivalence classes (inputs with equal
+ * contract traces but potentially different speculative behaviour) are
+ * plentiful.
+ */
+
+#ifndef AMULET_CORE_INPUT_GEN_HH
+#define AMULET_CORE_INPUT_GEN_HH
+
+#include <vector>
+
+#include "arch/input.hh"
+#include "common/rng.hh"
+#include "mem/address_map.hh"
+
+namespace amulet::core
+{
+
+/** Input-generation knobs. */
+struct InputGenConfig
+{
+    mem::AddressMap map;
+    /** Probability (percent) that a register gets a small value, which
+     *  makes comparisons/branch conditions vary more. */
+    unsigned smallRegPct = 50;
+};
+
+/** Deterministic input generator. */
+class InputGenerator
+{
+  public:
+    InputGenerator(InputGenConfig config, Rng rng)
+        : cfg_(std::move(config)), rng_(rng)
+    {
+    }
+
+    /** Fresh random base input. */
+    arch::Input generate(std::uint64_t id);
+
+    /**
+     * Contract-preserving sibling: same registers and flags, same bytes
+     * at the architecturally-read offsets, random elsewhere.
+     */
+    arch::Input sibling(const arch::Input &base,
+                        const std::vector<std::size_t> &read_offsets,
+                        std::uint64_t id);
+
+  private:
+    InputGenConfig cfg_;
+    Rng rng_;
+};
+
+} // namespace amulet::core
+
+#endif // AMULET_CORE_INPUT_GEN_HH

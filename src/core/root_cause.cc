@@ -1,0 +1,110 @@
+#include "core/root_cause.hh"
+
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+namespace amulet::core
+{
+
+bool
+isRootCauseEvent(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::LoadExec:
+      case EventKind::LoadBypassedStore:
+      case EventKind::StoreExec:
+      case EventKind::SquashBranch:
+      case EventKind::SquashMemOrder:
+      case EventKind::SpecEviction:
+      case EventKind::Expose:
+      case EventKind::ExposeStall:
+      case EventKind::CleanupUndo:
+      case EventKind::CleanupSkipped:
+      case EventKind::CleanupOverclean:
+      case EventKind::TaintedStoreTlb:
+      case EventKind::TransmitBlocked:
+      case EventKind::LfbHold:
+      case EventKind::LfbUnsafeBypass:
+        return true;
+      default:
+        return false;
+    }
+}
+
+namespace
+{
+
+std::vector<Event>
+collectEvents(executor::SimHarness &harness, const isa::FlatProgram &prog,
+              const arch::Input &input, const executor::UarchContext &ctx)
+{
+    harness.loadProgram(&prog);
+    harness.restoreContext(ctx);
+    harness.eventLog().clear();
+    harness.setEventLogging(true);
+    harness.runInput(input);
+    harness.setEventLogging(false);
+
+    std::vector<Event> out;
+    for (const Event &e : harness.eventLog().events()) {
+        if (isRootCauseEvent(e.kind))
+            out.push_back(e);
+    }
+    return out;
+}
+
+std::string
+renderEvent(const Event &e)
+{
+    std::ostringstream os;
+    os << std::setw(5) << e.cycle << " " << std::setw(18) << std::left
+       << eventKindName(e.kind) << std::right << " 0x" << std::hex
+       << e.addr << std::dec;
+    if (!e.note.empty())
+        os << " (" << e.note << ")";
+    return os.str();
+}
+
+} // namespace
+
+std::string
+renderSideBySide(executor::SimHarness &harness,
+                 const isa::FlatProgram &prog,
+                 const ViolationRecord &violation)
+{
+    const auto ev_a =
+        collectEvents(harness, prog, violation.inputA, violation.ctxA);
+    const auto ev_b =
+        collectEvents(harness, prog, violation.inputB, violation.ctxB);
+
+    constexpr std::size_t kCol = 52;
+    std::ostringstream os;
+    os << violation.summary() << "\n\n";
+    os << std::setw(kCol) << std::left
+       << ("Input A (id " + std::to_string(violation.inputA.id) + ")")
+       << "| Input B (id " << violation.inputB.id << ")\n";
+    os << std::string(kCol, '-') << "+" << std::string(kCol, '-') << "\n";
+
+    const std::size_t rows = std::max(ev_a.size(), ev_b.size());
+    for (std::size_t i = 0; i < rows; ++i) {
+        std::string left = i < ev_a.size() ? renderEvent(ev_a[i]) : "";
+        std::string right = i < ev_b.size() ? renderEvent(ev_b[i]) : "";
+        const bool differs =
+            i >= ev_a.size() || i >= ev_b.size() ||
+            ev_a[i].kind != ev_b[i].kind || ev_a[i].addr != ev_b[i].addr;
+        if (left.size() < kCol)
+            left.resize(kCol, ' ');
+        os << left << "| " << right << (differs ? "   <<" : "") << "\n";
+    }
+
+    os << "\nTrace diff:";
+    for (Addr w : executor::traceDiffAddrs(violation.traceA,
+                                           violation.traceB)) {
+        os << " 0x" << std::hex << w << std::dec;
+    }
+    os << "\n";
+    return os.str();
+}
+
+} // namespace amulet::core

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Root-cause analysis support (§3.3 (a)).
+ *
+ * Mirrors the paper's script that parses gem5 debug logs and provides a
+ * side-by-side comparison of memory accesses under the two violating
+ * inputs, highlighting differences and displaying squashes.
+ */
+
+#ifndef AMULET_CORE_ROOT_CAUSE_HH
+#define AMULET_CORE_ROOT_CAUSE_HH
+
+#include <string>
+
+#include "core/violation.hh"
+#include "executor/sim_harness.hh"
+#include "isa/program.hh"
+
+namespace amulet::core
+{
+
+/**
+ * Re-run both violating inputs under their recorded μarch contexts with
+ * event recording and render a side-by-side table of memory operations
+ * (cycle, type, address), squashes, and defense events, with differing
+ * rows marked — the Table 7/9/10 view of the paper.
+ */
+std::string renderSideBySide(executor::SimHarness &harness,
+                             const isa::FlatProgram &prog,
+                             const ViolationRecord &violation);
+
+/** The subset of event kinds shown in side-by-side reports. */
+bool isRootCauseEvent(EventKind kind);
+
+} // namespace amulet::core
+
+#endif // AMULET_CORE_ROOT_CAUSE_HH

@@ -1,0 +1,152 @@
+#include "core/signature.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "mem/memory_image.hh"
+
+namespace amulet::core
+{
+
+namespace
+{
+
+using executor::UTrace;
+
+struct RunEvidence
+{
+    std::vector<Event> events;
+    UTrace trace;
+    std::uint64_t squashBranch = 0;
+    std::uint64_t squashMemOrder = 0;
+    std::uint64_t cleanupCount = 0;
+};
+
+RunEvidence
+runWithEvents(executor::SimHarness &harness, const arch::Input &input,
+              const executor::UarchContext &ctx)
+{
+    harness.restoreContext(ctx);
+    harness.eventLog().clear();
+    harness.setEventLogging(true);
+    auto out = harness.runInput(input);
+    harness.setEventLogging(false);
+
+    RunEvidence ev;
+    ev.events = harness.eventLog().events();
+    ev.trace = out.trace;
+    for (const Event &e : ev.events) {
+        if (e.kind == EventKind::SquashBranch)
+            ++ev.squashBranch;
+        if (e.kind == EventKind::SquashMemOrder)
+            ++ev.squashMemOrder;
+        if (e.kind == EventKind::CleanupUndo)
+            ++ev.cleanupCount;
+    }
+    return ev;
+}
+
+} // namespace
+
+std::string
+classifyViolation(executor::SimHarness &harness,
+                  const isa::FlatProgram &prog,
+                  const arch::Input &input_a, const arch::Input &input_b,
+                  const executor::UarchContext &ctx_a,
+                  const executor::UarchContext &ctx_b)
+{
+    harness.loadProgram(&prog);
+    const RunEvidence a = runWithEvents(harness, input_a, ctx_a);
+    const RunEvidence b = runWithEvents(harness, input_b, ctx_b);
+
+    // Addresses (cache lines / VPNs) present in exactly one trace.
+    std::unordered_set<std::uint64_t> diff;
+    for (Addr w : executor::traceDiffAddrs(a.trace, b.trace))
+        diff.insert(w);
+
+    const unsigned line_bytes = 64;
+    auto touches_diff = [&](const Event &e) {
+        if (diff.empty())
+            return true; // non-snapshot formats: match by presence
+        const Addr line = e.addr & ~static_cast<Addr>(line_bytes - 1);
+        const Addr vpn = e.addr >> mem::kPageShift;
+        return diff.count(e.addr) || diff.count(line) || diff.count(vpn);
+    };
+    auto match = [&](EventKind kind, const char *note_substr = nullptr) {
+        for (const RunEvidence *ev : {&a, &b}) {
+            for (const Event &e : ev->events) {
+                if (e.kind != kind)
+                    continue;
+                if (note_substr &&
+                    e.note.find(note_substr) == std::string::npos) {
+                    continue;
+                }
+                if (touches_diff(e))
+                    return true;
+            }
+        }
+        return false;
+    };
+    auto present = [&](EventKind kind, const char *note_substr = nullptr) {
+        for (const RunEvidence *ev : {&a, &b}) {
+            for (const Event &e : ev->events) {
+                if (e.kind != kind)
+                    continue;
+                if (note_substr &&
+                    e.note.find(note_substr) == std::string::npos) {
+                    continue;
+                }
+                return true;
+            }
+        }
+        return false;
+    };
+
+    // Defense-specific patterns first (most specific root cause).
+    if (match(EventKind::SpecEviction))
+        return sig::kUv1SpecEviction;
+    if (match(EventKind::TaintedStoreTlb))
+        return sig::kKv3TaintedStoreTlb;
+    if (match(EventKind::CleanupOverclean))
+        return sig::kUv5Overclean;
+    if (match(EventKind::CleanupSkipped, "UV4"))
+        return sig::kUv4SplitNotCleaned;
+    if (match(EventKind::CleanupSkipped, "UV3"))
+        return sig::kUv3StoreNotCleaned;
+    if (match(EventKind::LfbUnsafeBypass))
+        return sig::kUv6FirstLoadBypass;
+    // A rollback that erased a line present in only one trace removed an
+    // architectural footprint: overcleaning (fundamental UV5 — persists,
+    // reduced but not eliminated, under the noClean mitigation).
+    if (!diff.empty() && match(EventKind::CleanupUndo))
+        return sig::kUv5Overclean;
+    if (present(EventKind::ExposeStall))
+        return sig::kUv2MshrInterference;
+
+    // Differences confined to the instruction-cache region indicate the
+    // unprotected-L1I class (KV1, and KV2 when cleanup timing differs).
+    if (!diff.empty()) {
+        const bool all_code = std::all_of(
+            diff.begin(), diff.end(), [&prog](std::uint64_t w) {
+                return w >= prog.codeBase() - 0x1000 &&
+                       w < prog.codeEnd() + 0x100000;
+            });
+        if (all_code)
+            return sig::kKv12InstFetch;
+    }
+
+    if (a.squashMemOrder || b.squashMemOrder)
+        return sig::kSpectreV4;
+    // A load that speculatively bypassed an unresolved-address store and
+    // touched a differing line leaked a stale value, even if the branch
+    // squash arrived before any memory-order violation could fire.
+    if (match(EventKind::LoadBypassedStore))
+        return sig::kSpectreV4;
+    if (a.squashBranch || b.squashBranch)
+        return sig::kSpectreV1;
+    if (a.cleanupCount != b.cleanupCount)
+        return sig::kTiming;
+    return sig::kTiming;
+}
+
+} // namespace amulet::core

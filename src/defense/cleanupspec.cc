@@ -1,0 +1,186 @@
+#include "defense/cleanupspec.hh"
+
+#include "uarch/pipeline.hh"
+
+namespace amulet::defense
+{
+
+void
+CleanupSpec::reset()
+{
+    undoLog_.clear();
+}
+
+LoadPlan
+CleanupSpec::planLoad(DynInst &inst)
+{
+    LoadPlan plan;
+    // Loads always install normally; what distinguishes CleanupSpec is the
+    // rollback metadata. Non-speculative touches set the noClean marker.
+    plan.markNonSpec = inst.safe;
+    return plan;
+}
+
+void
+CleanupSpec::onStoreAddrReady(DynInst &inst)
+{
+    if (inst.isLoad)
+        return; // RMW: the load side's install covers the line
+
+    // CleanupSpec lets stores modify the cache at execute (write-allocate)
+    // and undoes the change on a squash.
+    const Addr line_a = mem_->l1d().lineAddrOf(inst.memAddr);
+    const Addr line_b =
+        mem_->l1d().lineAddrOf(inst.memAddr + inst.memSize - 1);
+    inst.split = line_a != line_b;
+    if (inst.split)
+        log_->record(pipe_->now(), EventKind::SplitRequest, inst.seq,
+                     inst.pc, inst.memAddr);
+    for (Addr line : {line_a, line_b}) {
+        MemReq req;
+        req.kind = ReqKind::SpecStoreInstall;
+        req.lineAddr = line;
+        req.seq = inst.seq;
+        req.pc = inst.pc;
+        req.dest = FillDest::L1D;
+        req.markNonSpec = inst.safe;
+        req.splitPiece = inst.split;
+        mem_->enqueueL1D(req);
+        if (line_a == line_b)
+            break;
+    }
+}
+
+void
+CleanupSpec::recordUndo(SeqNum seq, const MemReq &req)
+{
+    if (req.splitPiece && opt_.bugSplitNotCleaned) {
+        // UV4: "// TODO: Cleanup for SplitReq" — never rolled back.
+        log_->record(pipe_->now(), EventKind::CleanupSkipped, seq, req.pc,
+                     req.lineAddr, "split request (UV4)");
+        return;
+    }
+    undoLog_[seq].push_back(
+        {req.lineAddr, req.evictedLine, req.evictedWasNonSpec, req.pc});
+    if (DynInst *e = pipe_->entry(seq))
+        e->undoLogged = true;
+}
+
+void
+CleanupSpec::enqueueCleanup(Addr line, Addr victim, bool victim_non_spec,
+                            SeqNum seq, Addr pc)
+{
+    MemReq req;
+    req.kind = ReqKind::Cleanup;
+    req.lineAddr = line;
+    req.seq = seq;
+    req.pc = pc;
+    req.cleanupInvalidate = line;
+    // Restoring a victim that was itself speculative would resurrect
+    // state another rollback intends to erase; only architectural
+    // (non-speculative) victims are restored from the L2 copy.
+    req.cleanupRestore = victim_non_spec ? victim : kNoAddr;
+    mem_->enqueueL1D(req);
+}
+
+void
+CleanupSpec::applyCleanup(const MemReq &req)
+{
+    uarch::Cache &l1d = mem_->l1d();
+    const Addr line = req.cleanupInvalidate;
+    if (line != kNoAddr && l1d.present(line)) {
+        if (l1d.nonSpecTouched(line)) {
+            if (opt_.noCleanPatch) {
+                // Patched: the line was also touched non-speculatively;
+                // cleaning it would erase an architectural footprint.
+                log_->record(pipe_->now(), EventKind::CleanupUndo, req.seq,
+                             req.pc, line, "noClean: skip (patched)");
+            } else {
+                // UV5: too much cleaning — a non-speculative access to the
+                // same line is erased along with the speculative install.
+                log_->record(pipe_->now(), EventKind::CleanupOverclean,
+                             req.seq, req.pc, line, "UV5");
+                l1d.invalidate(line);
+            }
+        } else {
+            log_->record(pipe_->now(), EventKind::CleanupUndo, req.seq,
+                         req.pc, line, "invalidate (spec-only line)");
+            l1d.invalidate(line);
+        }
+    }
+    if (req.cleanupRestore != kNoAddr)
+        l1d.install(req.cleanupRestore, true);
+    log_->record(pipe_->now(), EventKind::CleanupUndo, req.seq, req.pc,
+                 line);
+}
+
+void
+CleanupSpec::onSquash(DynInst &inst)
+{
+    if (!inst.isLoad && !inst.isStore)
+        return;
+    auto it = undoLog_.find(inst.seq);
+    if (it == undoLog_.end())
+        return;
+    for (const UndoEntry &u : it->second)
+        enqueueCleanup(u.line, u.victim, u.victimNonSpec, inst.seq, u.pc);
+    undoLog_.erase(it);
+}
+
+void
+CleanupSpec::onReqComplete(const MemReq &req)
+{
+    switch (req.kind) {
+      case ReqKind::Load: {
+        if (req.wasHit)
+            return; // hits change no cache state; nothing to undo
+        DynInst *e = pipe_->entry(req.seq);
+        if (!e || e->squashed) {
+            // Fill arrived after the speculative load was squashed: the
+            // line was just installed and must be cleaned immediately.
+            if (req.splitPiece && opt_.bugSplitNotCleaned) {
+                log_->record(pipe_->now(), EventKind::CleanupSkipped,
+                             req.seq, req.pc, req.lineAddr,
+                             "split request (UV4)");
+                return;
+            }
+            enqueueCleanup(req.lineAddr, req.evictedLine,
+                           req.evictedWasNonSpec, req.seq, req.pc);
+            return;
+        }
+        if (!e->wasUnsafeAtIssue)
+            return; // non-speculative miss: no rollback metadata needed
+        recordUndo(req.seq, req);
+        return;
+      }
+      case ReqKind::SpecStoreInstall: {
+        if (req.wasHit)
+            return;
+        if (opt_.bugStoreNotCleaned) {
+            // UV3: writeCallback() lacks the hit/miss cleanup metadata,
+            // so speculative stores are never rolled back.
+            log_->record(pipe_->now(), EventKind::CleanupSkipped, req.seq,
+                         req.pc, req.lineAddr, "spec store (UV3)");
+            return;
+        }
+        DynInst *e = pipe_->entry(req.seq);
+        if (!e || e->squashed) {
+            if (!(req.splitPiece && opt_.bugSplitNotCleaned))
+                enqueueCleanup(req.lineAddr, req.evictedLine,
+                               req.evictedWasNonSpec, req.seq, req.pc);
+            return;
+        }
+        if (!e->wasUnsafeAtIssue)
+            return; // non-speculative store: no rollback needed
+        recordUndo(req.seq, req);
+        return;
+      }
+      case ReqKind::Cleanup:
+        applyCleanup(req);
+        return;
+      default:
+        return;
+    }
+}
+
+} // namespace amulet::defense

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * CleanupSpec (Saileshwar & Qureshi, MICRO 2019).
+ *
+ * Speculative loads and stores modify the cache immediately; on a squash,
+ * an undo log rolls the state back (invalidate the installed line, restore
+ * the evicted victim). Rollback occupies the L1 controller for a fixed
+ * latency, putting cleanup on the critical path (the unXpec / KV2 timing
+ * channel).
+ *
+ * The as-published implementation carries the bugs and the vulnerability
+ * AMuLeT found:
+ *  - UV3 `bugStoreNotCleaned`: writeCallback() misses the cleanup
+ *    metadata, so speculative-store installs are never rolled back.
+ *  - UV4 `bugSplitNotCleaned`: line-crossing (split) requests carry a
+ *    `TODO` in the cleanup path and are never rolled back.
+ *  - UV5 `noCleanPatch` (off by default): rollback unconditionally
+ *    invalidates the line even when a non-speculative access also touched
+ *    it ("too much cleaning"); the patch skips cleaning such lines.
+ */
+
+#ifndef AMULET_DEFENSE_CLEANUPSPEC_HH
+#define AMULET_DEFENSE_CLEANUPSPEC_HH
+
+#include <map>
+#include <vector>
+
+#include "defense/defense.hh"
+
+namespace amulet::defense
+{
+
+/** CleanupSpec countermeasure. */
+class CleanupSpec final : public Defense
+{
+  public:
+    struct Options
+    {
+        bool bugStoreNotCleaned = true; ///< UV3
+        bool bugSplitNotCleaned = true; ///< UV4
+        bool noCleanPatch = false;      ///< UV5 mitigation
+    };
+
+    CleanupSpec() = default;
+    explicit CleanupSpec(Options options) : opt_(options) {}
+
+    std::string name() const override { return "CleanupSpec"; }
+    void reset() override;
+    SpecMode specMode() const override { return SpecMode::Futuristic; }
+
+    LoadPlan planLoad(DynInst &inst) override;
+    void onStoreAddrReady(DynInst &inst) override;
+    bool installStoreAtCommit(const DynInst &) override { return false; }
+    void onSquash(DynInst &inst) override;
+    void onReqComplete(const MemReq &req) override;
+
+    const Options &options() const { return opt_; }
+
+  private:
+    struct UndoEntry
+    {
+        Addr line;
+        Addr victim;
+        bool victimNonSpec;
+        Addr pc;
+    };
+
+    void recordUndo(SeqNum seq, const MemReq &req);
+    void enqueueCleanup(Addr line, Addr victim, bool victim_non_spec,
+                        SeqNum seq, Addr pc);
+    void applyCleanup(const MemReq &req);
+
+    Options opt_;
+    std::map<SeqNum, std::vector<UndoEntry>> undoLog_;
+};
+
+} // namespace amulet::defense
+
+#endif // AMULET_DEFENSE_CLEANUPSPEC_HH

@@ -1,0 +1,118 @@
+#include "defense/invisispec.hh"
+
+#include "uarch/pipeline.hh"
+
+namespace amulet::defense
+{
+
+InvisiSpec::InvisiSpec(const uarch::CoreParams &params,
+                       bool bug_spec_eviction)
+    : bugSpecEviction_(bug_spec_eviction),
+      buffer_(params.specBufferEntries)
+{
+}
+
+void
+InvisiSpec::attach(Pipeline *pipeline, MemSystem *mem, EventLog *log)
+{
+    Defense::attach(pipeline, mem, log);
+    mem_->setSideBuffer(&buffer_);
+}
+
+void
+InvisiSpec::reset()
+{
+    buffer_.clear();
+    ownedLines_.clear();
+}
+
+LoadPlan
+InvisiSpec::planLoad(DynInst &inst)
+{
+    LoadPlan plan;
+    if (inst.safe)
+        return plan; // non-speculative: ordinary visible access
+
+    // Unsafe speculative load: invisible to the caches. Data is fetched
+    // into the speculative buffer; an L1 hit must not refresh LRU state.
+    plan.dest = FillDest::SideBuffer;
+    plan.invisibleHit = true;
+    plan.probeSideBuffer = true;
+    plan.bugSpecEvict = bugSpecEviction_;
+    inst.inSpecBuffer = true; // the fill will target the spec buffer
+    return plan;
+}
+
+void
+InvisiSpec::issueExpose(Addr line_addr, SeqNum seq, Addr pc)
+{
+    MemReq req;
+    req.kind = ReqKind::Expose;
+    req.lineAddr = line_addr;
+    req.seq = seq;
+    req.pc = pc;
+    req.dest = FillDest::L1D;
+    mem_->enqueueL1D(req);
+    log_->record(pipe_->now(), EventKind::Expose, seq, pc, line_addr);
+}
+
+void
+InvisiSpec::onBecameSafe(DynInst &inst)
+{
+    if (!inst.isLoad)
+        return;
+    auto it = ownedLines_.find(inst.seq);
+    if (it == ownedLines_.end())
+        return;
+    for (Addr line : it->second)
+        issueExpose(line, inst.seq, inst.pc);
+    ownedLines_.erase(it);
+    inst.exposePending = true;
+}
+
+void
+InvisiSpec::onSquash(DynInst &inst)
+{
+    if (!inst.isLoad)
+        return;
+    auto it = ownedLines_.find(inst.seq);
+    if (it == ownedLines_.end())
+        return;
+    for (Addr line : it->second)
+        buffer_.erase(line);
+    ownedLines_.erase(it);
+}
+
+void
+InvisiSpec::onReqComplete(const MemReq &req)
+{
+    switch (req.kind) {
+      case ReqKind::Load: {
+        if (req.dest != FillDest::SideBuffer || req.wasHit)
+            return;
+        // A speculative miss filled from L2/memory.
+        DynInst *e = pipe_->entry(req.seq);
+        if (!e || e->squashed)
+            return; // owner squashed mid-flight: never becomes visible
+        buffer_.insert(req.lineAddr);
+        log_->record(pipe_->now(), EventKind::SpecBufferFill, req.seq,
+                     req.pc, req.lineAddr);
+        if (e->safe) {
+            // Already safe when the fill arrived: expose immediately.
+            issueExpose(req.lineAddr, req.seq, req.pc);
+        } else {
+            ownedLines_[req.seq].push_back(req.lineAddr);
+        }
+        return;
+      }
+      case ReqKind::Expose:
+        // The MemSystem installed the line into the L1D (or it was
+        // already present); drop the now-visible line from the buffer.
+        buffer_.erase(req.lineAddr);
+        return;
+      default:
+        return;
+    }
+}
+
+} // namespace amulet::defense

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * InvisiSpec (Yan et al., MICRO 2018), Futuristic mode.
+ *
+ * Speculative loads fetch data into a speculative buffer that is invisible
+ * to the cache hierarchy; once a load becomes safe, an Expose request
+ * makes the line architecturally visible (installing it into the L1D and
+ * performing any replacement).
+ *
+ * The as-published gem5 implementation carries the bug AMuLeT found
+ * (UV1, Listing 1): on a speculative miss whose set is full, the L1
+ * controller triggers a replacement *before* the spec-buffer fill, leaking
+ * the victim's address through an eviction. `bugSpecEviction=false`
+ * applies the paper's patch (Listing 2). The same-core MSHR interference
+ * vulnerability (UV2) is not a flag: it emerges from Expose requests
+ * competing for finite MSHRs in the in-order controller queue.
+ */
+
+#ifndef AMULET_DEFENSE_INVISISPEC_HH
+#define AMULET_DEFENSE_INVISISPEC_HH
+
+#include <map>
+#include <vector>
+
+#include "defense/defense.hh"
+
+namespace amulet::defense
+{
+
+/** InvisiSpec countermeasure. */
+class InvisiSpec final : public Defense
+{
+  public:
+    /**
+     * @param params            core configuration (spec-buffer size)
+     * @param bug_spec_eviction keep the UV1 replacement bug (default: the
+     *                          behaviour of the public artifact)
+     */
+    explicit InvisiSpec(const uarch::CoreParams &params,
+                        bool bug_spec_eviction = true);
+
+    std::string name() const override { return "InvisiSpec"; }
+    void attach(Pipeline *pipeline, MemSystem *mem, EventLog *log) override;
+    void reset() override;
+    SpecMode specMode() const override { return SpecMode::Futuristic; }
+
+    LoadPlan planLoad(DynInst &inst) override;
+    void onBecameSafe(DynInst &inst) override;
+    void onSquash(DynInst &inst) override;
+    void onReqComplete(const MemReq &req) override;
+
+    const uarch::SideBuffer &specBuffer() const { return buffer_; }
+
+  private:
+    void issueExpose(Addr line_addr, SeqNum seq, Addr pc);
+
+    bool bugSpecEviction_;
+    uarch::SideBuffer buffer_;
+    /** Spec-buffer lines owned by each in-flight speculative load. */
+    std::map<SeqNum, std::vector<Addr>> ownedLines_;
+};
+
+} // namespace amulet::defense
+
+#endif // AMULET_DEFENSE_INVISISPEC_HH

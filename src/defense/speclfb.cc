@@ -1,0 +1,114 @@
+#include "defense/speclfb.hh"
+
+#include "uarch/pipeline.hh"
+
+namespace amulet::defense
+{
+
+SpecLfb::SpecLfb(const uarch::CoreParams &params,
+                 bool bug_first_load_unprotected)
+    : bugFirstLoadUnprotected_(bug_first_load_unprotected),
+      lfb_(params.lfbEntries)
+{
+}
+
+void
+SpecLfb::attach(Pipeline *pipeline, MemSystem *mem, EventLog *log)
+{
+    Defense::attach(pipeline, mem, log);
+    mem_->setSideBuffer(&lfb_);
+}
+
+void
+SpecLfb::reset()
+{
+    lfb_.clear();
+    heldLines_.clear();
+}
+
+LoadPlan
+SpecLfb::planLoad(DynInst &inst)
+{
+    LoadPlan plan;
+    if (inst.safe)
+        return plan; // non-speculative: ordinary access
+
+    // UV6: `isReallyUnsafe` is cleared when no prior unsafe load exists in
+    // the LSQ, so the first speculative load is treated as safe and
+    // installs into the cache normally.
+    if (bugFirstLoadUnprotected_ &&
+        !pipe_->olderUnsafeLoadExists(inst.seq)) {
+        log_->record(pipe_->now(), EventKind::LfbUnsafeBypass, inst.seq,
+                     inst.pc, inst.memAddr, "UV6 first spec load");
+        return plan;
+    }
+
+    plan.dest = FillDest::SideBuffer;
+    plan.invisibleHit = true;
+    plan.probeSideBuffer = true;
+    return plan;
+}
+
+void
+SpecLfb::onBecameSafe(DynInst &inst)
+{
+    if (!inst.isLoad)
+        return;
+    auto it = heldLines_.find(inst.seq);
+    if (it == heldLines_.end())
+        return;
+    // Safe: the held fill moves from the LFB into the L1D.
+    for (Addr line : it->second) {
+        lfb_.erase(line);
+        const Addr evicted = mem_->l1d().install(line);
+        log_->record(pipe_->now(), EventKind::CacheFill, inst.seq, inst.pc,
+                     line, "LFB install");
+        if (evicted != kNoAddr)
+            log_->record(pipe_->now(), EventKind::CacheEvict, inst.seq,
+                         inst.pc, evicted, "L1D");
+    }
+    heldLines_.erase(it);
+    inst.lfbHeld = false;
+}
+
+void
+SpecLfb::onSquash(DynInst &inst)
+{
+    if (!inst.isLoad)
+        return;
+    auto it = heldLines_.find(inst.seq);
+    if (it == heldLines_.end())
+        return;
+    for (Addr line : it->second)
+        lfb_.erase(line);
+    heldLines_.erase(it);
+}
+
+void
+SpecLfb::onReqComplete(const MemReq &req)
+{
+    if (req.kind != ReqKind::Load || req.dest != FillDest::SideBuffer ||
+        req.wasHit) {
+        return;
+    }
+    DynInst *e = pipe_->entry(req.seq);
+    if (!e || e->squashed)
+        return; // dropped: squashed before the fill arrived
+    if (e->safe) {
+        // Became safe while the miss was in flight: install directly.
+        const Addr evicted = mem_->l1d().install(req.lineAddr);
+        log_->record(pipe_->now(), EventKind::CacheFill, req.seq, req.pc,
+                     req.lineAddr, "LFB install");
+        if (evicted != kNoAddr)
+            log_->record(pipe_->now(), EventKind::CacheEvict, req.seq,
+                         req.pc, evicted, "L1D");
+        return;
+    }
+    lfb_.insert(req.lineAddr);
+    e->lfbHeld = true;
+    heldLines_[req.seq].push_back(req.lineAddr);
+    log_->record(pipe_->now(), EventKind::LfbHold, req.seq, req.pc,
+                 req.lineAddr);
+}
+
+} // namespace amulet::defense

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * SpecLFB (Cheng et al., USENIX Security 2024).
+ *
+ * Adds a security check to the line-fill buffer: speculative loads that
+ * miss the L1D are held in the LFB and not installed into the cache until
+ * they become safe (Delay-on-Miss style); squashed loads are dropped from
+ * the LFB without any cache side effect.
+ *
+ * The open-source gem5 implementation carries the undocumented
+ * optimization AMuLeT found (UV6, Figure 8): a speculative load with no
+ * prior unsafe load in the load-store queue has its `isReallyUnsafe` flag
+ * cleared and is treated as safe — so the *first* speculative load
+ * installs into the cache normally and single-load Spectre variants leak.
+ * `bugFirstLoadUnprotected=false` applies the fix (every speculative load
+ * is gated).
+ */
+
+#ifndef AMULET_DEFENSE_SPECLFB_HH
+#define AMULET_DEFENSE_SPECLFB_HH
+
+#include <map>
+#include <vector>
+
+#include "defense/defense.hh"
+
+namespace amulet::defense
+{
+
+/** SpecLFB countermeasure. */
+class SpecLfb final : public Defense
+{
+  public:
+    explicit SpecLfb(const uarch::CoreParams &params,
+                     bool bug_first_load_unprotected = true);
+
+    std::string name() const override { return "SpecLFB"; }
+    void attach(Pipeline *pipeline, MemSystem *mem, EventLog *log) override;
+    void reset() override;
+    SpecMode specMode() const override { return SpecMode::Futuristic; }
+
+    LoadPlan planLoad(DynInst &inst) override;
+    void onBecameSafe(DynInst &inst) override;
+    void onSquash(DynInst &inst) override;
+    void onReqComplete(const MemReq &req) override;
+
+    const uarch::SideBuffer &lfb() const { return lfb_; }
+
+  private:
+    bool bugFirstLoadUnprotected_;
+    uarch::SideBuffer lfb_;
+    /** LFB lines owned by each held load. */
+    std::map<SeqNum, std::vector<Addr>> heldLines_;
+};
+
+} // namespace amulet::defense
+
+#endif // AMULET_DEFENSE_SPECLFB_HH

@@ -1,0 +1,96 @@
+#include "defense/stt.hh"
+
+#include "uarch/pipeline.hh"
+
+namespace amulet::defense
+{
+
+void
+Stt::tick()
+{
+    // Recompute taint over the ROB in program order each cycle. A load is
+    // a taint root while it executed speculatively and is not yet safe;
+    // once the SpecTracker marks it safe the recomputation untaints it and
+    // (transitively) its dependents — the untaint broadcast.
+    for (DynInst &e : pipe_->rob()) {
+        const bool root = e.isLoad && e.issued && e.wasUnsafeAtIssue &&
+                          !e.safe && !e.squashed;
+        bool tainted = root;
+        if (!tainted) {
+            for (const auto &src : e.srcs) {
+                const DynInst *p = pipe_->entry(src.producer);
+                if (p && p->tainted) {
+                    tainted = true;
+                    break;
+                }
+            }
+            if (!tainted && e.needsFlags) {
+                const DynInst *p = pipe_->entry(e.flagsProducer);
+                if (p && p->tainted)
+                    tainted = true;
+            }
+        }
+        if (tainted != e.tainted) {
+            log_->record(pipe_->now(),
+                         tainted ? EventKind::TaintSet
+                                 : EventKind::TaintLift,
+                         e.seq, e.pc);
+            e.tainted = tainted;
+        }
+    }
+}
+
+bool
+Stt::addrTainted(const DynInst &inst) const
+{
+    for (const auto &src : inst.srcs) {
+        if (!src.forAddress)
+            continue;
+        const DynInst *p = pipe_->entry(src.producer);
+        if (p && p->tainted)
+            return true;
+    }
+    return false;
+}
+
+bool
+Stt::blockLoadIssue(DynInst &inst)
+{
+    if (!addrTainted(inst))
+        return false;
+    if (!inst.blockLogged) {
+        log_->record(pipe_->now(), EventKind::TransmitBlocked, inst.seq,
+                     inst.pc, 0, "tainted load address");
+        inst.blockLogged = true;
+    }
+    return true;
+}
+
+bool
+Stt::blockStoreExec(DynInst &inst)
+{
+    if (bugTaintedStoreTlb_)
+        return false; // KV3: tainted stores are (incorrectly) executed
+    if (!addrTainted(inst))
+        return false;
+    if (!inst.blockLogged) {
+        log_->record(pipe_->now(), EventKind::TransmitBlocked, inst.seq,
+                     inst.pc, 0, "tainted store address");
+        inst.blockLogged = true;
+    }
+    return true;
+}
+
+void
+Stt::onStoreAddrReady(DynInst &inst)
+{
+    // The pipeline already performed the store's address translation
+    // (D-TLB access + fill). With the bug enabled that access happened
+    // even though the address was tainted — the KV3 leak.
+    if (bugTaintedStoreTlb_ && addrTainted(inst)) {
+        log_->record(pipe_->now(), EventKind::TaintedStoreTlb, inst.seq,
+                     inst.pc, inst.memAddr, "KV3");
+    }
+}
+
+} // namespace amulet::defense

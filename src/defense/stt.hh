@@ -1,0 +1,51 @@
+/**
+ * @file
+ * STT — Speculative Taint Tracking (Yu et al., MICRO 2019), Futuristic.
+ *
+ * Data returned by speculative "access" loads is tainted; taint propagates
+ * through the dataflow graph; "transmit" instructions (loads/stores whose
+ * *address* depends on tainted data) are blocked from executing until the
+ * taint is lifted, which happens when the access load reaches the
+ * visibility point (becomes safe under the Futuristic model).
+ *
+ * The as-published gem5 implementation carries the bug AMuLeT confirmed
+ * (KV3, previously found by DOLMA): tainted speculative *stores* still
+ * execute their address translation, installing a D-TLB entry that leaks
+ * the tainted address. `bugTaintedStoreTlb=false` blocks tainted stores
+ * entirely (the DOLMA-style fix).
+ */
+
+#ifndef AMULET_DEFENSE_STT_HH
+#define AMULET_DEFENSE_STT_HH
+
+#include "defense/defense.hh"
+
+namespace amulet::defense
+{
+
+/** Speculative Taint Tracking countermeasure. */
+class Stt final : public Defense
+{
+  public:
+    explicit Stt(bool bug_tainted_store_tlb = true)
+        : bugTaintedStoreTlb_(bug_tainted_store_tlb)
+    {
+    }
+
+    std::string name() const override { return "STT"; }
+    SpecMode specMode() const override { return SpecMode::Futuristic; }
+
+    void tick() override;
+    bool blockLoadIssue(DynInst &inst) override;
+    bool blockStoreExec(DynInst &inst) override;
+    void onStoreAddrReady(DynInst &inst) override;
+
+  private:
+    bool addrTainted(const DynInst &inst) const;
+
+    bool bugTaintedStoreTlb_;
+};
+
+} // namespace amulet::defense
+
+#endif // AMULET_DEFENSE_STT_HH

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Simulation harness: the AMuLeT executor (§3.1, §3.2).
+ *
+ * Wraps the simulator and implements the two execution strategies the
+ * paper compares:
+ *
+ *  - **Naive**: the simulator is restarted (reconstructed + booted) for
+ *    every input, starting from a clean cache state.
+ *  - **Opt**: the simulator starts once per test program; between inputs
+ *    only registers/memory are overwritten and the cache state is reset —
+ *    either by *running* a conflict-fill priming program through the
+ *    pipeline (InvisiSpec/STT style, §3.5) or via the direct invalidation
+ *    hook (CleanupSpec/SpecLFB style). Predictor state persists across
+ *    inputs, exactly as in AMuLeT-Opt.
+ *
+ * "Startup" performs real work — allocating the guest image and running a
+ * fixed boot program through the full out-of-order pipeline — so the
+ * startup:runtime ratio (two orders of magnitude, Table 2) is reproduced
+ * with measured time rather than constants.
+ */
+
+#ifndef AMULET_EXECUTOR_SIM_HARNESS_HH
+#define AMULET_EXECUTOR_SIM_HARNESS_HH
+
+#include <memory>
+
+#include "arch/input.hh"
+#include "common/event_log.hh"
+#include "defense/factory.hh"
+#include "executor/uarch_trace.hh"
+#include "isa/program.hh"
+#include "mem/address_map.hh"
+#include "mem/memory_image.hh"
+#include "uarch/pipeline.hh"
+
+namespace amulet::executor
+{
+
+/** How caches are reset between inputs. */
+enum class PrimeMode
+{
+    /** Fill the L1D with conflicting out-of-sandbox addresses by running
+     *  a priming program (detects install- and eviction-based leaks). */
+    ConflictFill,
+    /** Invalidate caches via the simulator hook (clean-cache start). */
+    Invalidate,
+};
+
+/** μarch context carried across inputs (and swapped during validation). */
+struct UarchContext
+{
+    uarch::BranchPredictor::State bp;
+    uarch::MemDepPredictor::State mdp;
+};
+
+/** Wall-clock breakdown per component (Table 2). */
+struct TimeBreakdown
+{
+    double startupSec = 0;
+    double simulateSec = 0;
+    double traceExtractSec = 0;
+    double testGenSec = 0;   ///< filled by the campaign
+    double ctraceSec = 0;    ///< filled by the campaign
+    double otherSec = 0;
+
+    double
+    totalSec() const
+    {
+        return startupSec + simulateSec + traceExtractSec + testGenSec +
+               ctraceSec + otherSec;
+    }
+
+    void
+    accumulate(const TimeBreakdown &other)
+    {
+        startupSec += other.startupSec;
+        simulateSec += other.simulateSec;
+        traceExtractSec += other.traceExtractSec;
+        testGenSec += other.testGenSec;
+        ctraceSec += other.ctraceSec;
+        otherSec += other.otherSec;
+    }
+};
+
+/** D-TLB initialization between inputs. */
+enum class TlbPrefill
+{
+    /** Guard page always; all sandbox pages too when the sandbox is a
+     *  single page (the paper's setup for TLB-unprotected defenses). */
+    Auto,
+    GuardOnly,
+    None,
+};
+
+/** Harness configuration. */
+struct HarnessConfig
+{
+    uarch::CoreParams core;
+    defense::DefenseConfig defense;
+    mem::AddressMap map;
+    PrimeMode prime = PrimeMode::ConflictFill;
+    TraceFormat traceFormat = TraceFormat::L1dTlb;
+    bool naiveMode = false;     ///< restart the simulator per input
+    TlbPrefill tlbPrefill = TlbPrefill::Auto;
+    unsigned bootInsts = 8000; ///< startup boot-program length (calibrated
+                                ///  so Naive:Opt matches the paper ~10-13x)
+};
+
+/** The executor. */
+class SimHarness
+{
+  public:
+    explicit SimHarness(HarnessConfig config);
+    ~SimHarness();
+
+    /** (Re)start the simulator: construct cold structures and boot.
+     *  Called implicitly by runInput when needed. */
+    void start();
+
+    /** Select the test program for subsequent inputs. */
+    void loadProgram(const isa::FlatProgram *prog);
+
+    /** Result of one test-case run. */
+    struct RunOutput
+    {
+        UTrace trace;
+        uarch::RunResult run;
+    };
+
+    /**
+     * Execute one input and extract the μarch trace. In Naive mode this
+     * restarts the simulator first; in Opt mode it reuses it, resetting
+     * caches per the configured PrimeMode.
+     */
+    RunOutput runInput(const arch::Input &input);
+
+    /** Extract an additional trace format from the last run's state. */
+    UTrace extractExtra(TraceFormat format) const;
+
+    /** @name μarch context (predictor state)
+     *  Starts the simulator first if needed. */
+    /// @{
+    UarchContext saveContext();
+    void restoreContext(const UarchContext &ctx);
+    /// @}
+
+    /** Debug-event recording (root-cause / signature re-runs). */
+    void setEventLogging(bool on) { log_.setEnabled(on); }
+    EventLog &eventLog() { return log_; }
+
+    uarch::Pipeline &pipeline() { return *pipe_; }
+    const HarnessConfig &config() const { return cfg_; }
+    const TimeBreakdown &times() const { return times_; }
+    void resetTimes() { times_ = TimeBreakdown{}; }
+
+    /** Number of simulator (re)starts performed. */
+    unsigned startCount() const { return startCount_; }
+
+  private:
+    void buildAuxPrograms();
+    void resetBetweenInputs();
+
+    HarnessConfig cfg_;
+    EventLog log_;
+    std::unique_ptr<mem::MemoryImage> memory_;
+    std::unique_ptr<defense::Defense> defense_;
+    std::unique_ptr<uarch::Pipeline> pipe_;
+    const isa::FlatProgram *prog_ = nullptr;
+    bool started_ = false;
+    unsigned startCount_ = 0;
+    TimeBreakdown times_;
+
+    /** Boot program (startup cost) and conflict-fill priming program. */
+    isa::Program bootSrc_;
+    std::unique_ptr<isa::FlatProgram> bootProg_;
+    isa::Program primeSrc_;
+    std::unique_ptr<isa::FlatProgram> primeProg_;
+};
+
+} // namespace amulet::executor
+
+#endif // AMULET_EXECUTOR_SIM_HARNESS_HH

@@ -1,0 +1,133 @@
+#include "executor/uarch_trace.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace amulet::executor
+{
+
+namespace
+{
+
+/// Section markers keep differently-shaped traces from colliding.
+constexpr std::uint64_t kMarkL1d = 0xD1D1'0000'0000'0001ULL;
+constexpr std::uint64_t kMarkTlb = 0xD1D1'0000'0000'0002ULL;
+constexpr std::uint64_t kMarkL1i = 0xD1D1'0000'0000'0003ULL;
+
+} // namespace
+
+const char *
+traceFormatName(TraceFormat format)
+{
+    switch (format) {
+      case TraceFormat::L1dTlb:          return "L1D+TLB";
+      case TraceFormat::L1dTlbL1i:       return "L1D+TLB+L1I";
+      case TraceFormat::BpState:         return "BP state";
+      case TraceFormat::MemAccessOrder:  return "Memory access order";
+      case TraceFormat::BranchPredOrder: return "Branch prediction order";
+    }
+    return "?";
+}
+
+std::optional<TraceFormat>
+parseTraceFormat(const std::string &name)
+{
+    std::string n;
+    for (char c : name)
+        n += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (n == "l1dtlb" || n == "l1d+tlb" || n == "default")
+        return TraceFormat::L1dTlb;
+    if (n == "l1dtlbl1i" || n == "l1d+tlb+l1i")
+        return TraceFormat::L1dTlbL1i;
+    if (n == "bpstate" || n == "bp")
+        return TraceFormat::BpState;
+    if (n == "memorder" || n == "accessorder")
+        return TraceFormat::MemAccessOrder;
+    if (n == "branchorder" || n == "predorder")
+        return TraceFormat::BranchPredOrder;
+    return std::nullopt;
+}
+
+std::vector<TraceFormat>
+allTraceFormats()
+{
+    return {TraceFormat::L1dTlb, TraceFormat::L1dTlbL1i,
+            TraceFormat::BpState, TraceFormat::MemAccessOrder,
+            TraceFormat::BranchPredOrder};
+}
+
+std::string
+UTrace::describe(std::size_t max_words) const
+{
+    std::ostringstream os;
+    os << traceFormatName(format) << " [" << words.size() << " words]:";
+    std::size_t shown = 0;
+    for (std::uint64_t w : words) {
+        if (shown++ >= max_words) {
+            os << " ...";
+            break;
+        }
+        os << " 0x" << std::hex << w << std::dec;
+    }
+    return os.str();
+}
+
+UTrace
+extractTrace(const uarch::Pipeline &pipe, TraceFormat format)
+{
+    UTrace trace;
+    trace.format = format;
+    const uarch::MemSystem &mem = pipe.memSys();
+
+    switch (format) {
+      case TraceFormat::L1dTlb:
+      case TraceFormat::L1dTlbL1i: {
+        trace.words.push_back(kMarkL1d);
+        for (Addr line : mem.l1d().snapshot())
+            trace.words.push_back(line);
+        trace.words.push_back(kMarkTlb);
+        for (Addr vpn : mem.dtlb().snapshot())
+            trace.words.push_back(vpn);
+        if (format == TraceFormat::L1dTlbL1i) {
+            trace.words.push_back(kMarkL1i);
+            for (Addr line : mem.l1i().snapshot())
+                trace.words.push_back(line);
+        }
+        break;
+      }
+      case TraceFormat::BpState: {
+        auto &bp = const_cast<uarch::Pipeline &>(pipe).branchPredictor();
+        trace.words = bp.traceWords();
+        break;
+      }
+      case TraceFormat::MemAccessOrder:
+        for (const auto &rec : pipe.accessOrder()) {
+            trace.words.push_back(rec.pc);
+            trace.words.push_back(rec.addr);
+            trace.words.push_back(rec.isStore ? 1 : 0);
+        }
+        break;
+      case TraceFormat::BranchPredOrder:
+        for (const auto &rec : pipe.branchPredOrder()) {
+            trace.words.push_back(rec.pc);
+            trace.words.push_back(rec.predTargetPc);
+        }
+        break;
+    }
+    return trace;
+}
+
+std::vector<Addr>
+traceDiffAddrs(const UTrace &a, const UTrace &b)
+{
+    std::vector<std::uint64_t> wa = a.words;
+    std::vector<std::uint64_t> wb = b.words;
+    std::sort(wa.begin(), wa.end());
+    std::sort(wb.begin(), wb.end());
+    std::vector<Addr> diff;
+    std::set_symmetric_difference(wa.begin(), wa.end(), wb.begin(),
+                                  wb.end(), std::back_inserter(diff));
+    return diff;
+}
+
+} // namespace amulet::executor

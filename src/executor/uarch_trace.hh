@@ -1,0 +1,75 @@
+/**
+ * @file
+ * μarch traces: attacker observations extracted from the simulator.
+ *
+ * The default format is the snapshot of the final L1D-cache and D-TLB
+ * state (§3.2 C1), modelling a realistic software attacker probing the
+ * memory system. The alternative formats of Table 5 — branch-predictor
+ * state, memory-access order, branch-prediction order — and the L1I
+ * extension (used for KV1/KV2) are also available.
+ */
+
+#ifndef AMULET_EXECUTOR_UARCH_TRACE_HH
+#define AMULET_EXECUTOR_UARCH_TRACE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bitutil.hh"
+#include "uarch/pipeline.hh"
+
+namespace amulet::executor
+{
+
+/** Selectable μarch trace contents. */
+enum class TraceFormat
+{
+    L1dTlb,          ///< default: final L1D tags + D-TLB VPNs
+    L1dTlbL1i,       ///< + final L1I tags (detects KV1/KV2)
+    BpState,         ///< final branch-predictor state
+    MemAccessOrder,  ///< ordered (pc, addr, kind) of every access issued
+    BranchPredOrder, ///< ordered (pc, predicted target) at fetch
+};
+
+const char *traceFormatName(TraceFormat format);
+std::optional<TraceFormat> parseTraceFormat(const std::string &name);
+std::vector<TraceFormat> allTraceFormats();
+
+/** One μarch trace: canonical word sequence; equality is the relation of
+ *  Definition 2.1. */
+struct UTrace
+{
+    TraceFormat format = TraceFormat::L1dTlb;
+    std::vector<std::uint64_t> words;
+
+    bool
+    operator==(const UTrace &other) const
+    {
+        return format == other.format && words == other.words;
+    }
+
+    std::uint64_t
+    hash() const
+    {
+        std::uint64_t h = static_cast<std::uint64_t>(format);
+        for (std::uint64_t w : words)
+            h = hashCombine(h, w);
+        return h;
+    }
+
+    /** Human-readable dump (for reports). */
+    std::string describe(std::size_t max_words = 64) const;
+};
+
+/** Extract a trace of @p format from the pipeline's final state. */
+UTrace extractTrace(const uarch::Pipeline &pipe, TraceFormat format);
+
+/** The addresses present in one trace but not the other (L1D/TLB formats;
+ *  used by signature analysis). */
+std::vector<Addr> traceDiffAddrs(const UTrace &a, const UTrace &b);
+
+} // namespace amulet::executor
+
+#endif // AMULET_EXECUTOR_UARCH_TRACE_HH

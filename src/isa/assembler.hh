@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Assembler: parses the listing syntax produced by the disassembler back
+ * into a Program. Used by examples and tests (hand-written Spectre PoCs
+ * are written as text, exactly like the paper's listings).
+ */
+
+#ifndef AMULET_ISA_ASSEMBLER_HH
+#define AMULET_ISA_ASSEMBLER_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "isa/program.hh"
+
+namespace amulet::isa
+{
+
+/** Thrown on malformed assembly input; carries line number + message. */
+class AsmError : public std::runtime_error
+{
+  public:
+    AsmError(std::size_t line, const std::string &msg)
+        : std::runtime_error("line " + std::to_string(line) + ": " + msg),
+          line_(line)
+    {}
+
+    std::size_t line() const { return line_; }
+
+  private:
+    std::size_t line_;
+};
+
+/**
+ * Assemble a textual listing into a Program.
+ *
+ * Syntax (one instruction per line, `#` or `;` comments):
+ *     .bb_main.0:
+ *         AND RBX, 0b111111111111
+ *         CMOVNBE SI, word ptr [R14 + RAX]
+ *         JNE .bb_main.1
+ *         JMP .exit
+ *     .bb_main.1:
+ *         ...
+ *
+ * Block labels begin with '.'; `.exit` is the implicit exit block.
+ * Immediates accept decimal, 0x hex, and 0b binary.
+ *
+ * @throws AsmError on malformed input (including non-DAG control flow).
+ */
+Program assemble(const std::string &text);
+
+} // namespace amulet::isa
+
+#endif // AMULET_ISA_ASSEMBLER_HH

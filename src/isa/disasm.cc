@@ -1,0 +1,151 @@
+#include "isa/disasm.hh"
+
+#include <sstream>
+
+namespace amulet::isa
+{
+
+namespace
+{
+
+const char *
+sizeKeyword(unsigned width)
+{
+    switch (width) {
+      case 1: return "byte";
+      case 2: return "word";
+      case 4: return "dword";
+      default: return "qword";
+    }
+}
+
+std::string
+formatImm(std::int64_t imm)
+{
+    std::ostringstream os;
+    if (imm < 0) {
+        os << imm;
+    } else if (imm >= 256 && ((imm + 1) & imm) == 0) {
+        // All-ones masks print in binary, matching the paper's listings.
+        os << "0b";
+        bool started = false;
+        for (int bit = 63; bit >= 0; --bit) {
+            const bool set = (imm >> bit) & 1;
+            if (set)
+                started = true;
+            if (started)
+                os << (set ? '1' : '0');
+        }
+    } else if (imm >= 4096) {
+        os << "0x" << std::hex << imm;
+    } else {
+        os << imm;
+    }
+    return os.str();
+}
+
+std::string
+targetLabel(int target, const Program *prog)
+{
+    if (target == kTargetExit)
+        return ".exit";
+    if (prog && target >= 0 &&
+        static_cast<std::size_t>(target) < prog->blocks.size() &&
+        !prog->blocks[target].name.empty()) {
+        return "." + prog->blocks[target].name;
+    }
+    return ".bb." + std::to_string(target);
+}
+
+} // namespace
+
+std::string
+formatMemOperand(const MemRef &mem, unsigned width)
+{
+    std::ostringstream os;
+    os << sizeKeyword(width) << " ptr [" << regName(mem.base);
+    if (mem.hasIndex)
+        os << " + " << regName(mem.index);
+    if (mem.disp > 0)
+        os << " + " << formatImm(mem.disp);
+    else if (mem.disp < 0)
+        os << " - " << formatImm(-static_cast<std::int64_t>(mem.disp));
+    os << "]";
+    return os.str();
+}
+
+std::string
+formatInst(const Inst &inst, const Program *prog)
+{
+    std::ostringstream os;
+    os << inst.mnemonic();
+
+    switch (inst.op) {
+      case Op::Nop:
+      case Op::Halt:
+      case Op::Fence:
+        return os.str();
+      case Op::Jcc:
+      case Op::Jmp:
+      case Op::Loopne:
+        os << " " << targetLabel(inst.target, prog);
+        return os.str();
+      default:
+        break;
+    }
+
+    // Destination operand.
+    const bool dst_is_mem = inst.dstKind == OpndKind::Mem;
+    if (dst_is_mem) {
+        os << " " << formatMemOperand(inst.mem, inst.width);
+    } else if (inst.dstKind == OpndKind::Reg) {
+        // MOVZX/MOVSX and LEA destinations are full-width registers.
+        const unsigned dst_width =
+            (inst.op == Op::Movzx || inst.op == Op::Movsx ||
+             inst.op == Op::Lea)
+                ? 8
+                : (inst.op == Op::Set ? 1 : inst.width);
+        os << " " << regNameWidth(inst.dst, dst_width);
+    }
+
+    // Source operand.
+    if (inst.op == Op::Lea) {
+        os << ", [" << regName(inst.mem.base);
+        if (inst.mem.hasIndex)
+            os << " + " << regName(inst.mem.index);
+        if (inst.mem.disp != 0)
+            os << " + " << formatImm(inst.mem.disp);
+        os << "]";
+        return os.str();
+    }
+    switch (inst.srcKind) {
+      case OpndKind::Reg:
+        os << ", " << regNameWidth(inst.src, inst.width);
+        break;
+      case OpndKind::Imm:
+        os << ", " << formatImm(inst.imm);
+        break;
+      case OpndKind::Mem:
+        os << ", " << formatMemOperand(inst.mem, inst.width);
+        break;
+      case OpndKind::None:
+        break;
+    }
+    return os.str();
+}
+
+std::string
+formatProgram(const Program &prog)
+{
+    std::ostringstream os;
+    for (std::size_t b = 0; b < prog.blocks.size(); ++b) {
+        const auto &bb = prog.blocks[b];
+        os << "." << (bb.name.empty() ? "bb." + std::to_string(b) : bb.name)
+           << ":\n";
+        for (const auto &inst : bb.body)
+            os << "    " << formatInst(inst, &prog) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace amulet::isa

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Disassembler: formats instructions and programs in the paper's listing
+ * syntax (`AND RBX, 0b111111111111`, `XOR qword ptr [R14 + RBX], RDI`,
+ * `JNO .bb_main.2`). Violation reports and examples use this format.
+ */
+
+#ifndef AMULET_ISA_DISASM_HH
+#define AMULET_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/inst.hh"
+#include "isa/program.hh"
+
+namespace amulet::isa
+{
+
+/**
+ * Format one instruction. Branch targets are printed as block labels
+ * resolved against @p prog (pass nullptr to print raw target indices).
+ */
+std::string formatInst(const Inst &inst, const Program *prog = nullptr);
+
+/** Format a whole program as a labelled listing. */
+std::string formatProgram(const Program &prog);
+
+/** Format a memory operand, e.g. "qword ptr [R14 + RBX + 0x40]". */
+std::string formatMemOperand(const MemRef &mem, unsigned width);
+
+} // namespace amulet::isa
+
+#endif // AMULET_ISA_DISASM_HH

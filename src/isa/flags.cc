@@ -1,0 +1,51 @@
+#include "isa/flags.hh"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace amulet::isa
+{
+
+namespace
+{
+
+constexpr std::array<const char *, kNumConds> kCondNames = {
+    "E", "NE", "S", "NS", "O", "NO", "P", "NP",
+    "B", "NB", "BE", "NBE", "L", "GE", "LE", "G",
+};
+
+} // namespace
+
+const char *
+condName(Cond c)
+{
+    return kCondNames[static_cast<unsigned>(c)];
+}
+
+std::optional<Cond>
+parseCond(const std::string &name)
+{
+    std::string n = name;
+    std::transform(n.begin(), n.end(), n.begin(),
+                   [](unsigned char ch) { return std::toupper(ch); });
+    // Common x86 aliases.
+    if (n == "Z") n = "E";
+    if (n == "NZ") n = "NE";
+    if (n == "A") n = "NBE";
+    if (n == "AE") n = "NB";
+    if (n == "NA") n = "BE";
+    if (n == "C") n = "B";
+    if (n == "NC") n = "NB";
+    if (n == "NL") n = "GE";
+    if (n == "NG") n = "LE";
+    if (n == "NGE") n = "L";
+    if (n == "NLE") n = "G";
+    for (unsigned i = 0; i < kNumConds; ++i) {
+        if (n == kCondNames[i])
+            return static_cast<Cond>(i);
+    }
+    return std::nullopt;
+}
+
+} // namespace amulet::isa

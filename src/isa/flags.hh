@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Status flags and condition codes (x86-64 subset).
+ */
+
+#ifndef AMULET_ISA_FLAGS_HH
+#define AMULET_ISA_FLAGS_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace amulet::isa
+{
+
+/** Architectural status flags. */
+struct Flags
+{
+    bool zf = false; ///< zero
+    bool sf = false; ///< sign
+    bool cf = false; ///< carry
+    bool of = false; ///< overflow
+    bool pf = false; ///< parity (of low result byte)
+
+    bool operator==(const Flags &) const = default;
+
+    /** Pack into a byte (for inputs / hashing). */
+    std::uint8_t
+    pack() const
+    {
+        return static_cast<std::uint8_t>(zf | (sf << 1) | (cf << 2) |
+                                         (of << 3) | (pf << 4));
+    }
+
+    /** Unpack from a byte. */
+    static Flags
+    unpack(std::uint8_t b)
+    {
+        Flags f;
+        f.zf = b & 1;
+        f.sf = b & 2;
+        f.cf = b & 4;
+        f.of = b & 8;
+        f.pf = b & 16;
+        return f;
+    }
+};
+
+/** Condition codes for Jcc / CMOVcc / SETcc / LOOPcc. */
+enum class Cond : std::uint8_t
+{
+    E,   ///< equal (ZF)
+    NE,  ///< not equal (!ZF)
+    S,   ///< sign (SF)
+    NS,  ///< no sign (!SF)
+    O,   ///< overflow (OF)
+    NO,  ///< no overflow (!OF)
+    P,   ///< parity (PF)
+    NP,  ///< no parity (!PF)
+    B,   ///< below (CF)            unsigned <
+    NB,  ///< not below (!CF)       unsigned >=
+    BE,  ///< below/equal (CF|ZF)   unsigned <=
+    NBE, ///< above (!CF & !ZF)     unsigned >
+    L,   ///< less (SF != OF)       signed <
+    GE,  ///< greater/equal         signed >=
+    LE,  ///< less/equal            signed <=
+    G,   ///< greater               signed >
+};
+
+/** Number of condition codes. */
+inline constexpr unsigned kNumConds = 16;
+
+/** Evaluate a condition against flags. */
+constexpr bool
+condEval(Cond c, const Flags &f)
+{
+    switch (c) {
+      case Cond::E:   return f.zf;
+      case Cond::NE:  return !f.zf;
+      case Cond::S:   return f.sf;
+      case Cond::NS:  return !f.sf;
+      case Cond::O:   return f.of;
+      case Cond::NO:  return !f.of;
+      case Cond::P:   return f.pf;
+      case Cond::NP:  return !f.pf;
+      case Cond::B:   return f.cf;
+      case Cond::NB:  return !f.cf;
+      case Cond::BE:  return f.cf || f.zf;
+      case Cond::NBE: return !f.cf && !f.zf;
+      case Cond::L:   return f.sf != f.of;
+      case Cond::GE:  return f.sf == f.of;
+      case Cond::LE:  return f.zf || (f.sf != f.of);
+      case Cond::G:   return !f.zf && (f.sf == f.of);
+    }
+    return false;
+}
+
+/** Condition-code suffix, e.g. "NBE". */
+const char *condName(Cond c);
+
+/** Parse a condition-code suffix. */
+std::optional<Cond> parseCond(const std::string &name);
+
+} // namespace amulet::isa
+
+#endif // AMULET_ISA_FLAGS_HH

@@ -1,0 +1,107 @@
+#include "isa/program.hh"
+
+#include <cassert>
+#include <sstream>
+
+namespace amulet::isa
+{
+
+std::size_t
+Program::countInsts() const
+{
+    std::size_t n = 0;
+    for (const auto &bb : blocks)
+        n += bb.body.size();
+    return n;
+}
+
+std::optional<std::string>
+Program::validate() const
+{
+    if (blocks.empty())
+        return "program has no blocks";
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        for (std::size_t i = 0; i < blocks[b].body.size(); ++i) {
+            const Inst &inst = blocks[b].body[i];
+            if (!inst.isBranch())
+                continue;
+            if (inst.target == kTargetExit)
+                continue;
+            if (inst.target < 0 ||
+                static_cast<std::size_t>(inst.target) >= blocks.size()) {
+                std::ostringstream os;
+                os << "block " << b << " inst " << i
+                   << ": branch target out of range";
+                return os.str();
+            }
+            if (static_cast<std::size_t>(inst.target) <= b) {
+                std::ostringstream os;
+                os << "block " << b << " inst " << i
+                   << ": backward/self branch breaks the DAG shape";
+                return os.str();
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+FlatProgram::FlatProgram(const Program &prog, Addr code_base)
+    : codeBase_(code_base)
+{
+    assert(!prog.validate() && "flattening an ill-formed program");
+
+    // First pass: block start indices.
+    std::vector<std::size_t> block_start(prog.blocks.size(), 0);
+    std::size_t idx = 0;
+    for (std::size_t b = 0; b < prog.blocks.size(); ++b) {
+        block_start[b] = idx;
+        idx += prog.blocks[b].body.size();
+    }
+    const std::size_t exit_idx = idx; // HALT position
+
+    // Second pass: emit instructions and resolve targets.
+    for (std::size_t b = 0; b < prog.blocks.size(); ++b) {
+        const auto &bb = prog.blocks[b];
+        for (std::size_t i = 0; i < bb.body.size(); ++i) {
+            Inst inst = bb.body[i];
+            std::size_t resolved = 0;
+            if (inst.isBranch()) {
+                resolved = inst.target == kTargetExit
+                               ? exit_idx
+                               : block_start[inst.target];
+            }
+            insts_.push_back(inst);
+            targets_.push_back(resolved);
+            std::ostringstream label;
+            label << (bb.name.empty() ? ("bb." + std::to_string(b))
+                                      : bb.name)
+                  << "+" << i;
+            labels_.push_back(label.str());
+        }
+    }
+
+    Inst halt;
+    halt.op = Op::Halt;
+    insts_.push_back(halt);
+    targets_.push_back(0);
+    labels_.push_back("exit+0");
+}
+
+std::optional<std::size_t>
+FlatProgram::idxOf(Addr pc) const
+{
+    if (pc < codeBase_ || pc >= codeEnd())
+        return std::nullopt;
+    const Addr off = pc - codeBase_;
+    if (off % kInstBytes != 0)
+        return std::nullopt;
+    return off / kInstBytes;
+}
+
+std::string
+FlatProgram::labelOf(std::size_t idx) const
+{
+    return idx < labels_.size() ? labels_[idx] : "?";
+}
+
+} // namespace amulet::isa

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Test-program representation: basic blocks and the flattened,
+ * PC-addressed form consumed by the emulator and the simulator.
+ *
+ * Programs follow the paper's shape: up to a handful of basic blocks linked
+ * by forward jumps into a DAG (§3.1), so architectural execution always
+ * terminates. Flattening lays blocks out consecutively, appends the exit
+ * HALT, assigns each instruction a fixed-size 4-byte slot, and resolves
+ * block-index branch targets to instruction indices.
+ */
+
+#ifndef AMULET_ISA_PROGRAM_HH
+#define AMULET_ISA_PROGRAM_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/inst.hh"
+
+namespace amulet::isa
+{
+
+/** A named straight-line sequence of instructions. */
+struct BasicBlock
+{
+    std::string name;
+    std::vector<Inst> body;
+};
+
+/** A test program: entry block first, control flow is a forward DAG. */
+struct Program
+{
+    std::vector<BasicBlock> blocks;
+
+    /** Total instruction count across blocks (excluding the exit HALT). */
+    std::size_t countInsts() const;
+
+    /**
+     * Validate the DAG shape: every branch targets a strictly later block
+     * or the exit. Returns an error message, or nullopt if well-formed.
+     */
+    std::optional<std::string> validate() const;
+};
+
+/**
+ * Flattened program with resolved branch targets and assigned PCs.
+ *
+ * Every instruction occupies kInstBytes; the final instruction is always
+ * HALT (the test's `m5 exit`). PCs beyond the program decode as NOPs so
+ * that runahead fetch on the predicted path is well-defined.
+ */
+class FlatProgram
+{
+  public:
+    /** Bytes per instruction slot. */
+    static constexpr unsigned kInstBytes = 4;
+
+    /** Flatten @p prog with code placed at @p code_base. */
+    FlatProgram(const Program &prog, Addr code_base);
+
+    /** Number of instructions including the final HALT. */
+    std::size_t numInsts() const { return insts_.size(); }
+
+    /** Instruction at linear index @p idx. */
+    const Inst &inst(std::size_t idx) const { return insts_[idx]; }
+
+    /** Resolved branch-target instruction index for instruction @p idx. */
+    std::size_t targetIdx(std::size_t idx) const { return targets_[idx]; }
+
+    /** PC of instruction @p idx. */
+    Addr pcOf(std::size_t idx) const { return codeBase_ + idx * kInstBytes; }
+
+    /** Index for a PC inside the program, if any. */
+    std::optional<std::size_t> idxOf(Addr pc) const;
+
+    /** PC of the resolved branch target of instruction @p idx. */
+    Addr targetPcOf(std::size_t idx) const { return pcOf(targetIdx(idx)); }
+
+    /** First code byte. */
+    Addr codeBase() const { return codeBase_; }
+
+    /** One past the last code byte. */
+    Addr codeEnd() const { return codeBase_ + numInsts() * kInstBytes; }
+
+    /** Index of the exit HALT (always the last instruction). */
+    std::size_t haltIdx() const { return insts_.size() - 1; }
+
+    /** Label for an instruction index ("bb_main.2+3"), for reports. */
+    std::string labelOf(std::size_t idx) const;
+
+  private:
+    Addr codeBase_;
+    std::vector<Inst> insts_;
+    std::vector<std::size_t> targets_;       ///< per-inst resolved target
+    std::vector<std::string> labels_;        ///< per-inst "block+offset"
+};
+
+} // namespace amulet::isa
+
+#endif // AMULET_ISA_PROGRAM_HH

@@ -1,0 +1,92 @@
+#include "isa/reg.hh"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace amulet::isa
+{
+
+namespace
+{
+
+/// Names of the low-numbered ("legacy") registers per width.
+struct LegacyNames
+{
+    const char *q; ///< 64-bit
+    const char *d; ///< 32-bit
+    const char *w; ///< 16-bit
+    const char *b; ///< 8-bit (low byte)
+};
+
+constexpr std::array<LegacyNames, 8> kLegacy = {{
+    {"RAX", "EAX", "AX", "AL"},
+    {"RBX", "EBX", "BX", "BL"},
+    {"RCX", "ECX", "CX", "CL"},
+    {"RDX", "EDX", "DX", "DL"},
+    {"RSI", "ESI", "SI", "SIL"},
+    {"RDI", "EDI", "DI", "DIL"},
+    {"RBP", "EBP", "BP", "BPL"},
+    {"RSP", "ESP", "SP", "SPL"},
+}};
+
+std::string
+upper(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::toupper(c); });
+    return s;
+}
+
+} // namespace
+
+const char *
+regName(Reg r)
+{
+    const unsigned i = regIndex(r);
+    if (i < 8)
+        return kLegacy[i].q;
+    static constexpr std::array<const char *, 8> high = {
+        "R8", "R9", "R10", "R11", "R12", "R13", "R14", "R15"};
+    return high[i - 8];
+}
+
+std::string
+regNameWidth(Reg r, unsigned width)
+{
+    const unsigned i = regIndex(r);
+    if (i < 8) {
+        switch (width) {
+          case 8: return kLegacy[i].q;
+          case 4: return kLegacy[i].d;
+          case 2: return kLegacy[i].w;
+          default: return kLegacy[i].b;
+        }
+    }
+    std::string base = regName(r);
+    switch (width) {
+      case 8: return base;
+      case 4: return base + "D";
+      case 2: return base + "W";
+      default: return base + "B";
+    }
+}
+
+std::optional<Reg>
+parseReg(const std::string &name, unsigned *width_out)
+{
+    const std::string n = upper(name);
+    for (unsigned i = 0; i < kNumRegs; ++i) {
+        const Reg r = regFromIndex(i);
+        for (unsigned width : {8u, 4u, 2u, 1u}) {
+            if (regNameWidth(r, width) == n) {
+                if (width_out)
+                    *width_out = width;
+                return r;
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace amulet::isa

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Architectural register file definition.
+ *
+ * AMuLeT's test programs use an x86-64-flavoured register set. Register
+ * R14 is reserved as the memory-sandbox base pointer (as in the paper's
+ * listings: accesses have the form `[R14 + reg]`), and RSP is never used
+ * by generated code.
+ */
+
+#ifndef AMULET_ISA_REG_HH
+#define AMULET_ISA_REG_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace amulet::isa
+{
+
+/** Number of architectural general-purpose registers. */
+inline constexpr unsigned kNumRegs = 16;
+
+/** General-purpose registers (x86-64 names). */
+enum class Reg : std::uint8_t
+{
+    Rax = 0,
+    Rbx,
+    Rcx,
+    Rdx,
+    Rsi,
+    Rdi,
+    Rbp,
+    Rsp,
+    R8,
+    R9,
+    R10,
+    R11,
+    R12,
+    R13,
+    R14, ///< sandbox base pointer by convention
+    R15,
+};
+
+/** Register reserved as the sandbox base in all generated programs. */
+inline constexpr Reg kSandboxBaseReg = Reg::R14;
+
+/** Index of a register (0..15). */
+constexpr unsigned
+regIndex(Reg r)
+{
+    return static_cast<unsigned>(r);
+}
+
+/** Register from an index (asserted in-range by callers). */
+constexpr Reg
+regFromIndex(unsigned idx)
+{
+    return static_cast<Reg>(idx & 0xf);
+}
+
+/** Canonical (64-bit) register name, e.g. "RAX". */
+const char *regName(Reg r);
+
+/**
+ * Name of a register at an access width, following x86 conventions:
+ * width 8 -> RAX, 4 -> EAX, 2 -> AX, 1 -> AL (and R8/R8D/R8W/R8B).
+ */
+std::string regNameWidth(Reg r, unsigned width);
+
+/**
+ * Parse a register name at any width. Returns the register and, through
+ * @p width_out (if non-null), the operand width implied by the name.
+ */
+std::optional<Reg> parseReg(const std::string &name,
+                            unsigned *width_out = nullptr);
+
+} // namespace amulet::isa
+
+#endif // AMULET_ISA_REG_HH

@@ -1,0 +1,218 @@
+#include "isa/semantics.hh"
+
+#include <cassert>
+
+#include "common/bitutil.hh"
+
+namespace amulet::isa
+{
+
+namespace
+{
+
+bool
+parityEven(std::uint64_t v)
+{
+    v &= 0xff;
+    v ^= v >> 4;
+    v ^= v >> 2;
+    v ^= v >> 1;
+    return (v & 1) == 0;
+}
+
+bool
+msb(std::uint64_t v, unsigned width)
+{
+    return (v >> (width * 8 - 1)) & 1;
+}
+
+} // namespace
+
+std::uint64_t
+mergeWidth(std::uint64_t old_value, std::uint64_t result, unsigned width)
+{
+    switch (width) {
+      case 8:
+        return result;
+      case 4:
+        return result & 0xffffffffULL; // 32-bit writes zero-extend
+      default: {
+        const std::uint64_t mask = lowMask(width * 8);
+        return (old_value & ~mask) | (result & mask);
+      }
+    }
+}
+
+void
+setLogicFlags(Flags &flags, std::uint64_t result, unsigned width)
+{
+    const std::uint64_t r = truncateToSize(result, width);
+    flags.zf = r == 0;
+    flags.sf = msb(r, width);
+    flags.pf = parityEven(r);
+}
+
+ExecResult
+evalOp(const Inst &inst, std::uint64_t dst_old, std::uint64_t src,
+       std::uint64_t addr, const Flags &flags_in)
+{
+    ExecResult out;
+    out.flags = flags_in;
+    const unsigned width = inst.width;
+    const std::uint64_t a = truncateToSize(dst_old, width);
+    const std::uint64_t b = truncateToSize(src, width);
+    const unsigned bits = width * 8;
+
+    auto arith_sub = [&](std::uint64_t x, std::uint64_t y) {
+        const std::uint64_t r = truncateToSize(x - y, width);
+        out.flags.cf = x < y;
+        out.flags.of = msb((x ^ y) & (x ^ r), width);
+        setLogicFlags(out.flags, r, width);
+        out.writesFlags = true;
+        return r;
+    };
+
+    switch (inst.op) {
+      case Op::Mov:
+        out.value = mergeWidth(dst_old, b, width);
+        out.writesDst = true;
+        break;
+      case Op::Movzx:
+        out.value = b; // already truncated to source width
+        out.writesDst = true;
+        break;
+      case Op::Movsx:
+        out.value = static_cast<std::uint64_t>(signExtend(b, bits));
+        out.writesDst = true;
+        break;
+      case Op::Add: {
+        const std::uint64_t r = truncateToSize(a + b, width);
+        out.flags.cf = r < a || (width == 8 && a + b < a);
+        if (width < 8)
+            out.flags.cf = (a + b) >> bits;
+        out.flags.of = msb(~(a ^ b) & (a ^ r), width);
+        setLogicFlags(out.flags, r, width);
+        out.value = mergeWidth(dst_old, r, width);
+        out.writesDst = true;
+        out.writesFlags = true;
+        break;
+      }
+      case Op::Sub: {
+        const std::uint64_t r = arith_sub(a, b);
+        out.value = mergeWidth(dst_old, r, width);
+        out.writesDst = true;
+        break;
+      }
+      case Op::Cmp:
+        arith_sub(a, b);
+        break;
+      case Op::And:
+      case Op::Test: {
+        const std::uint64_t r = truncateToSize(a & b, width);
+        out.flags.cf = false;
+        out.flags.of = false;
+        setLogicFlags(out.flags, r, width);
+        out.writesFlags = true;
+        if (inst.op == Op::And) {
+            out.value = mergeWidth(dst_old, r, width);
+            out.writesDst = true;
+        }
+        break;
+      }
+      case Op::Or:
+      case Op::Xor: {
+        const std::uint64_t r = truncateToSize(
+            inst.op == Op::Or ? (a | b) : (a ^ b), width);
+        out.flags.cf = false;
+        out.flags.of = false;
+        setLogicFlags(out.flags, r, width);
+        out.value = mergeWidth(dst_old, r, width);
+        out.writesDst = true;
+        out.writesFlags = true;
+        break;
+      }
+      case Op::Imul: {
+        const auto sa = signExtend(a, bits);
+        const auto sb = signExtend(b, bits);
+        const __int128 full = static_cast<__int128>(sa) * sb;
+        const std::uint64_t r =
+            truncateToSize(static_cast<std::uint64_t>(full), width);
+        const bool overflow =
+            full != static_cast<__int128>(signExtend(r, bits));
+        out.flags.cf = overflow;
+        out.flags.of = overflow;
+        setLogicFlags(out.flags, r, width);
+        out.value = mergeWidth(dst_old, r, width);
+        out.writesDst = true;
+        out.writesFlags = true;
+        break;
+      }
+      case Op::Shl:
+      case Op::Shr:
+      case Op::Sar: {
+        const unsigned count =
+            static_cast<unsigned>(src) & (width == 8 ? 63 : 31);
+        std::uint64_t r;
+        bool cf = out.flags.cf;
+        if (count == 0) {
+            r = a;
+        } else if (count >= bits) {
+            cf = inst.op == Op::Sar ? msb(a, width) : false;
+            r = inst.op == Op::Sar && msb(a, width) ? lowMask(bits) : 0;
+        } else if (inst.op == Op::Shl) {
+            cf = (a >> (bits - count)) & 1;
+            r = truncateToSize(a << count, width);
+        } else if (inst.op == Op::Shr) {
+            cf = (a >> (count - 1)) & 1;
+            r = a >> count;
+        } else { // Sar
+            cf = (a >> (count - 1)) & 1;
+            r = truncateToSize(
+                static_cast<std::uint64_t>(signExtend(a, bits) >>
+                                           count),
+                width);
+        }
+        out.flags.cf = cf;
+        out.flags.of = false;
+        setLogicFlags(out.flags, r, width);
+        out.value = mergeWidth(dst_old, r, width);
+        out.writesDst = true;
+        out.writesFlags = true;
+        break;
+      }
+      case Op::Neg: {
+        const std::uint64_t r = truncateToSize(0 - a, width);
+        out.flags.cf = a != 0;
+        out.flags.of = msb(a & r, width);
+        setLogicFlags(out.flags, r, width);
+        out.value = mergeWidth(dst_old, r, width);
+        out.writesDst = true;
+        out.writesFlags = true;
+        break;
+      }
+      case Op::Not:
+        out.value = mergeWidth(dst_old, truncateToSize(~a, width), width);
+        out.writesDst = true;
+        break;
+      case Op::Cmov: {
+        const std::uint64_t r = condEval(inst.cond, flags_in) ? b : a;
+        out.value = mergeWidth(dst_old, r, width);
+        out.writesDst = true;
+        break;
+      }
+      case Op::Set:
+        out.value = mergeWidth(dst_old,
+                               condEval(inst.cond, flags_in) ? 1 : 0, 1);
+        out.writesDst = true;
+        break;
+      case Op::Lea:
+        out.value = addr;
+        out.writesDst = true;
+        break;
+      default:
+        assert(false && "evalOp called on a non-data instruction");
+    }
+    return out;
+}
+
+} // namespace amulet::isa

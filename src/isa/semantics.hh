@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Pure value-level instruction semantics.
+ *
+ * Shared by the architectural emulator (leakage model) and the out-of-order
+ * pipeline (executor) so that both agree exactly on results and flags — a
+ * prerequisite for relational testing, and checked directly by the
+ * emulator-vs-pipeline differential property tests.
+ */
+
+#ifndef AMULET_ISA_SEMANTICS_HH
+#define AMULET_ISA_SEMANTICS_HH
+
+#include <cstdint>
+
+#include "isa/flags.hh"
+#include "isa/inst.hh"
+
+namespace amulet::isa
+{
+
+/** Result of evaluating a (non-branch, non-memory-side) operation. */
+struct ExecResult
+{
+    std::uint64_t value = 0;   ///< destination value (already width-merged)
+    Flags flags;               ///< resulting flags
+    bool writesDst = false;    ///< destination register/memory is written
+    bool writesFlags = false;
+};
+
+/**
+ * Evaluate an instruction's data computation.
+ *
+ * @param inst     the instruction (ops Mov..Lea; not branches/Nop/Halt)
+ * @param dst_old  prior value of the destination (register or memory)
+ * @param src      resolved source value (register, immediate, or loaded)
+ * @param addr     effective address (for Lea)
+ * @param flags_in incoming flags (for Cmov/Set and flag pass-through)
+ */
+ExecResult evalOp(const Inst &inst, std::uint64_t dst_old, std::uint64_t src,
+                  std::uint64_t addr, const Flags &flags_in);
+
+/** Merge @p result into @p old_value per x86 width rules
+ *  (8: full, 4: zero-extend, 2/1: insert into low bits). */
+std::uint64_t mergeWidth(std::uint64_t old_value, std::uint64_t result,
+                         unsigned width);
+
+/** Compute ZF/SF/PF for a result at a width (CF/OF owned by evalOp). */
+void setLogicFlags(Flags &flags, std::uint64_t result, unsigned width);
+
+} // namespace amulet::isa
+
+#endif // AMULET_ISA_SEMANTICS_HH

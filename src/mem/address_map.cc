@@ -1,0 +1,22 @@
+#include "mem/address_map.hh"
+
+namespace amulet::mem
+{
+
+std::vector<Addr>
+AddressMap::conflictFillAddrs(unsigned num_sets, unsigned num_ways,
+                              unsigned line_bytes) const
+{
+    std::vector<Addr> addrs;
+    addrs.reserve(static_cast<std::size_t>(num_sets) * num_ways);
+    const Addr stride = static_cast<Addr>(num_sets) * line_bytes;
+    for (unsigned way = 0; way < num_ways; ++way) {
+        for (unsigned set = 0; set < num_sets; ++set) {
+            addrs.push_back(primeBase + way * stride +
+                            static_cast<Addr>(set) * line_bytes);
+        }
+    }
+    return addrs;
+}
+
+} // namespace amulet::mem

@@ -1,0 +1,106 @@
+#include "mem/memory_image.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace amulet::mem
+{
+
+MemoryImage::Frame *
+MemoryImage::framePtr(Addr addr)
+{
+    const Addr frame_no = addr >> kPageShift;
+    auto it = frames_.find(frame_no);
+    if (it == frames_.end())
+        return nullptr;
+    return &it->second;
+}
+
+const MemoryImage::Frame *
+MemoryImage::framePtr(Addr addr) const
+{
+    const Addr frame_no = addr >> kPageShift;
+    auto it = frames_.find(frame_no);
+    if (it == frames_.end())
+        return nullptr;
+    return &it->second;
+}
+
+std::uint8_t
+MemoryImage::readByte(Addr addr) const
+{
+    const Frame *f = framePtr(addr);
+    if (!f)
+        return 0;
+    return (*f)[addr & (kPageSize - 1)];
+}
+
+void
+MemoryImage::writeByte(Addr addr, std::uint8_t value)
+{
+    Frame *f = framePtr(addr);
+    if (!f) {
+        auto [it, _] = frames_.emplace(addr >> kPageShift,
+                                       Frame(kPageSize, 0));
+        f = &it->second;
+    }
+    (*f)[addr & (kPageSize - 1)] = value;
+}
+
+std::uint64_t
+MemoryImage::read(Addr addr, unsigned size) const
+{
+    assert(size >= 1 && size <= 8);
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < size; ++i)
+        v |= static_cast<std::uint64_t>(readByte(addr + i)) << (8 * i);
+    return v;
+}
+
+void
+MemoryImage::write(Addr addr, unsigned size, std::uint64_t value)
+{
+    assert(size >= 1 && size <= 8);
+    for (unsigned i = 0; i < size; ++i)
+        writeByte(addr + i, static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+void
+MemoryImage::writeBytes(Addr addr, const std::uint8_t *data, std::size_t len)
+{
+    std::size_t done = 0;
+    while (done < len) {
+        const Addr a = addr + done;
+        const Addr off = a & (kPageSize - 1);
+        const std::size_t chunk =
+            std::min<std::size_t>(len - done, kPageSize - off);
+        Frame *f = framePtr(a);
+        if (!f) {
+            auto [it, _] =
+                frames_.emplace(a >> kPageShift, Frame(kPageSize, 0));
+            f = &it->second;
+        }
+        std::copy(data + done, data + done + chunk, f->begin() + off);
+        done += chunk;
+    }
+}
+
+void
+MemoryImage::readBytes(Addr addr, std::uint8_t *out, std::size_t len) const
+{
+    std::size_t done = 0;
+    while (done < len) {
+        const Addr a = addr + done;
+        const Addr off = a & (kPageSize - 1);
+        const std::size_t chunk =
+            std::min<std::size_t>(len - done, kPageSize - off);
+        if (const Frame *f = framePtr(a))
+            std::copy(f->begin() + off, f->begin() + off + chunk,
+                      out + done);
+        else
+            std::fill(out + done, out + done + chunk, 0);
+        done += chunk;
+    }
+}
+
+} // namespace amulet::mem

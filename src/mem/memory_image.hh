@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Sparse guest memory image.
+ *
+ * The simulated machine runs in a syscall-emulation-like mode: every
+ * address is backed (reads of untouched memory return zero, writes
+ * allocate), so neither architectural nor wrong-path accesses can fault.
+ * Backing storage is allocated in 4 KiB frames on demand.
+ */
+
+#ifndef AMULET_MEM_MEMORY_IMAGE_HH
+#define AMULET_MEM_MEMORY_IMAGE_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace amulet::mem
+{
+
+/** Guest page/frame size. */
+inline constexpr unsigned kPageShift = 12;
+inline constexpr Addr kPageSize = Addr{1} << kPageShift;
+
+/** Sparse byte-addressable memory with on-demand frame allocation. */
+class MemoryImage
+{
+  public:
+    /** Read one byte (0 for untouched memory). */
+    std::uint8_t readByte(Addr addr) const;
+
+    /** Write one byte, allocating the frame if needed. */
+    void writeByte(Addr addr, std::uint8_t value);
+
+    /** Little-endian read of @p size bytes (size in [1,8]). */
+    std::uint64_t read(Addr addr, unsigned size) const;
+
+    /** Little-endian write of @p size bytes (size in [1,8]). */
+    void write(Addr addr, unsigned size, std::uint64_t value);
+
+    /** Bulk copy in. */
+    void writeBytes(Addr addr, const std::uint8_t *data, std::size_t len);
+
+    /** Bulk copy out (untouched bytes read as zero). */
+    void readBytes(Addr addr, std::uint8_t *out, std::size_t len) const;
+
+    /** Drop all frames (all bytes become zero). */
+    void clear() { frames_.clear(); }
+
+    /** Number of allocated frames (for stats/tests). */
+    std::size_t numFrames() const { return frames_.size(); }
+
+  private:
+    using Frame = std::vector<std::uint8_t>;
+
+    Frame *framePtr(Addr addr);
+    const Frame *framePtr(Addr addr) const;
+
+    std::unordered_map<Addr, Frame> frames_; ///< keyed by frame number
+};
+
+} // namespace amulet::mem
+
+#endif // AMULET_MEM_MEMORY_IMAGE_HH

@@ -1,0 +1,162 @@
+#include "uarch/cache.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace amulet::uarch
+{
+
+Cache::Cache(const CacheParams &params)
+    : sets_(params.numSets()),
+      ways_(params.ways),
+      lineBytes_(params.lineBytes),
+      lineShift_(floorLog2(params.lineBytes)),
+      lineMask_(params.lineBytes - 1),
+      lines_(static_cast<std::size_t>(sets_) * ways_)
+{
+    assert(isPowerOfTwo(sets_) && isPowerOfTwo(lineBytes_));
+}
+
+Cache::Line *
+Cache::findLine(Addr line_addr)
+{
+    const unsigned set = setIndexOf(line_addr);
+    for (unsigned w = 0; w < ways_; ++w) {
+        Line &line = lines_[static_cast<std::size_t>(set) * ways_ + w];
+        if (line.valid && line.lineAddr == line_addr)
+            return &line;
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr line_addr) const
+{
+    return const_cast<Cache *>(this)->findLine(line_addr);
+}
+
+bool
+Cache::present(Addr line_addr) const
+{
+    return findLine(line_addr) != nullptr;
+}
+
+void
+Cache::touch(Addr line_addr)
+{
+    if (Line *line = findLine(line_addr))
+        line->lruStamp = ++stamp_;
+}
+
+Addr
+Cache::install(Addr line_addr, bool mark_non_spec, bool *evicted_non_spec)
+{
+    assert((line_addr & lineMask_) == 0);
+    if (evicted_non_spec)
+        *evicted_non_spec = false;
+    if (Line *line = findLine(line_addr)) {
+        line->lruStamp = ++stamp_;
+        if (mark_non_spec)
+            line->nonSpec = true;
+        return kNoAddr;
+    }
+    const unsigned set = setIndexOf(line_addr);
+    Line *slot = nullptr;
+    for (unsigned w = 0; w < ways_; ++w) {
+        Line &line = lines_[static_cast<std::size_t>(set) * ways_ + w];
+        if (!line.valid) {
+            slot = &line;
+            break;
+        }
+        if (!slot || line.lruStamp < slot->lruStamp)
+            slot = &line;
+    }
+    Addr evicted = kNoAddr;
+    if (slot->valid) {
+        evicted = slot->lineAddr;
+        if (evicted_non_spec)
+            *evicted_non_spec = slot->nonSpec;
+    }
+    slot->valid = true;
+    slot->lineAddr = line_addr;
+    slot->lruStamp = ++stamp_;
+    slot->nonSpec = mark_non_spec;
+    return evicted;
+}
+
+bool
+Cache::setFull(Addr line_addr) const
+{
+    const unsigned set = setIndexOf(line_addr);
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (!lines_[static_cast<std::size_t>(set) * ways_ + w].valid)
+            return false;
+    }
+    return true;
+}
+
+Addr
+Cache::victimOf(Addr line_addr) const
+{
+    const unsigned set = setIndexOf(line_addr);
+    const Line *victim = nullptr;
+    for (unsigned w = 0; w < ways_; ++w) {
+        const Line &line = lines_[static_cast<std::size_t>(set) * ways_ + w];
+        if (!line.valid)
+            return kNoAddr;
+        if (!victim || line.lruStamp < victim->lruStamp)
+            victim = &line;
+    }
+    return victim->lineAddr;
+}
+
+Addr
+Cache::evictVictim(Addr line_addr)
+{
+    const Addr victim = victimOf(line_addr);
+    if (victim != kNoAddr)
+        invalidate(victim);
+    return victim;
+}
+
+void
+Cache::invalidate(Addr line_addr)
+{
+    if (Line *line = findLine(line_addr))
+        *line = Line{};
+}
+
+void
+Cache::invalidateAll()
+{
+    std::fill(lines_.begin(), lines_.end(), Line{});
+    stamp_ = 0;
+}
+
+void
+Cache::markNonSpecTouched(Addr line_addr)
+{
+    if (Line *line = findLine(line_addr))
+        line->nonSpec = true;
+}
+
+bool
+Cache::nonSpecTouched(Addr line_addr) const
+{
+    const Line *line = findLine(line_addr);
+    return line && line->nonSpec;
+}
+
+std::vector<Addr>
+Cache::snapshot() const
+{
+    std::vector<Addr> out;
+    for (const Line &line : lines_) {
+        if (line.valid)
+            out.push_back(line.lineAddr);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace amulet::uarch

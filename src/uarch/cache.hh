@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Set-associative tag cache with LRU replacement.
+ *
+ * Caches track only presence/recency metadata; architectural data lives in
+ * the MemoryImage (the simulator is execute-at-issue). The final tag state
+ * is exactly what the default μarch trace snapshots (§3.2 C1).
+ */
+
+#ifndef AMULET_UARCH_CACHE_HH
+#define AMULET_UARCH_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "uarch/params.hh"
+
+namespace amulet::uarch
+{
+
+/** Tag-only set-associative cache. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    /** Line-aligned address containing @p addr. */
+    Addr lineAddrOf(Addr addr) const { return addr & ~lineMask_; }
+
+    /** Is the line present? */
+    bool present(Addr line_addr) const;
+
+    /** Refresh LRU recency of a present line. */
+    void touch(Addr line_addr);
+
+    /**
+     * Install a line; evicts the LRU victim if the set is full.
+     * @param mark_non_spec  marks the line as touched non-speculatively
+     *                       (CleanupSpec noClean metadata)
+     * @param evicted_non_spec  out: was the evicted victim marked
+     *                          non-speculative? (false if no eviction)
+     * @return evicted line address, or kNoAddr if a free way was used or
+     *         the line was already present.
+     */
+    Addr install(Addr line_addr, bool mark_non_spec = false,
+                 bool *evicted_non_spec = nullptr);
+
+    /** Is the set that @p line_addr maps to completely valid? */
+    bool setFull(Addr line_addr) const;
+
+    /** LRU victim line address of the set (kNoAddr if the set has a free
+     *  way). */
+    Addr victimOf(Addr line_addr) const;
+
+    /** Evict the LRU victim of the set (no fill).
+     *  @return the evicted line address, or kNoAddr if none was valid. */
+    Addr evictVictim(Addr line_addr);
+
+    /** Invalidate one line (no-op if absent). */
+    void invalidate(Addr line_addr);
+
+    /** Invalidate everything. */
+    void invalidateAll();
+
+    /** Mark a present line as non-speculatively touched. */
+    void markNonSpecTouched(Addr line_addr);
+
+    /** Was the line touched non-speculatively since install? */
+    bool nonSpecTouched(Addr line_addr) const;
+
+    /** Sorted list of valid line addresses (the μarch trace snapshot). */
+    std::vector<Addr> snapshot() const;
+
+    unsigned numSets() const { return sets_; }
+    unsigned numWays() const { return ways_; }
+    unsigned lineBytes() const { return lineBytes_; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        Addr lineAddr = 0;
+        std::uint64_t lruStamp = 0;
+        bool nonSpec = false;
+    };
+
+    unsigned setIndexOf(Addr line_addr) const
+    {
+        return static_cast<unsigned>((line_addr >> lineShift_) &
+                                     (sets_ - 1));
+    }
+
+    Line *findLine(Addr line_addr);
+    const Line *findLine(Addr line_addr) const;
+
+    unsigned sets_;
+    unsigned ways_;
+    unsigned lineBytes_;
+    unsigned lineShift_;
+    Addr lineMask_;
+    std::uint64_t stamp_ = 0;
+    std::vector<Line> lines_; ///< sets_ * ways_, set-major
+};
+
+} // namespace amulet::uarch
+
+#endif // AMULET_UARCH_CACHE_HH

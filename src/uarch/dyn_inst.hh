@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Dynamic (in-flight) instruction state.
+ *
+ * One DynInst per fetched instruction; read-modify-write memory ops carry
+ * both a load and a store side. Defense-visible speculation metadata
+ * (safety, taint, expose/LFB/undo bookkeeping) lives here so defenses can
+ * be implemented without intrusive pipeline changes — the design goal the
+ * paper states for AMuLeT integrations.
+ */
+
+#ifndef AMULET_UARCH_DYN_INST_HH
+#define AMULET_UARCH_DYN_INST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/flags.hh"
+#include "isa/inst.hh"
+
+namespace amulet::uarch
+{
+
+/** Progress of the memory side of a load. */
+enum class LoadPhase : std::uint8_t
+{
+    None,       ///< not a load, or address not yet generated
+    WaitTlb,    ///< TLB walk in progress
+    WaitStore,  ///< blocked on an older store (dependence or partial fwd)
+    WaitCache,  ///< request issued to the memory system
+    Done,       ///< data available
+};
+
+/** One in-flight instruction. */
+struct DynInst
+{
+    /** @name Identity */
+    /// @{
+    SeqNum seq = kNoSeq;
+    std::size_t idx = 0;   ///< static instruction index
+    Addr pc = 0;
+    isa::Inst si;          ///< static instruction (copied; small)
+    /// @}
+
+    /** @name Branch prediction */
+    /// @{
+    bool predTaken = false;
+    std::size_t predNextIdx = 0;
+    std::uint32_t ghrAtFetch = 0;
+    bool mispredicted = false;
+    bool actualTaken = false;      ///< resolved direction
+    std::size_t actualNextIdx = 0; ///< resolved successor
+    /// @}
+
+    /** @name Renamed sources (producer kNoSeq/0 = committed state) */
+    /// @{
+    struct SrcReg
+    {
+        isa::Reg reg;
+        SeqNum producer;
+        bool forAddress; ///< feeds effective-address computation
+        bool forData;    ///< feeds the data computation / store value
+    };
+    std::vector<SrcReg> srcs;
+    SeqNum flagsProducer = kNoSeq;
+    bool needsFlags = false;
+    /// @}
+
+    /** @name Execution state */
+    /// @{
+    bool issued = false;     ///< ALU/AGU started
+    bool executed = false;   ///< result (and store address/data) final
+    Cycle doneCycle = 0;     ///< for fixed-latency ops, completion time
+    bool resultValid = false;
+    std::uint64_t result = 0;       ///< destination value (width-merged)
+    isa::Flags flagsOut;
+    bool writesFlagsOut = false;
+    /// @}
+
+    /** @name Memory state */
+    /// @{
+    bool isLoad = false;
+    bool isStore = false;
+    Addr memAddr = 0;
+    unsigned memSize = 0;
+    bool addrReady = false;
+    bool split = false;        ///< crosses a cache-line boundary
+    LoadPhase loadPhase = LoadPhase::None;
+    unsigned pendingFills = 0; ///< outstanding cache responses
+    Cycle tlbDoneCycle = 0;
+    bool tlbPending = false;
+    std::uint64_t loadValue = 0;
+    bool loadDataValid = false;
+    bool forwardedFromStore = false;
+    SeqNum forwardingStore = kNoSeq;
+    bool bypassedUnknownStore = false; ///< issued past an older store with
+                                       ///< an unresolved address (v4 risk)
+    bool storeDataValid = false;
+    std::uint64_t storeData = 0;
+    bool storeTlbDone = false;         ///< store translation performed
+    /// @}
+
+    /** @name Speculation safety and defenses */
+    /// @{
+    bool safe = false;         ///< per SpecTracker (this cycle)
+    bool wasUnsafeAtIssue = false; ///< load issued while speculative
+    bool tainted = false;      ///< STT: destination carries tainted data
+    bool exposePending = false;///< InvisiSpec: expose not yet issued
+    bool inSpecBuffer = false; ///< InvisiSpec: line(s) in spec buffer
+    bool lfbHeld = false;      ///< SpecLFB: fill held in LFB
+    bool undoLogged = false;   ///< CleanupSpec: rollback metadata captured
+    /// @}
+
+    bool squashed = false;
+    bool committed = false;
+    bool blockLogged = false; ///< defense block event already recorded
+
+    /** @name Timing (for reports) */
+    /// @{
+    Cycle fetchCycle = 0;
+    Cycle issueCycle = 0;
+    Cycle execCycle = 0;
+    Cycle commitCycle = 0;
+    /// @}
+
+    bool isBranch() const { return si.isBranch(); }
+};
+
+} // namespace amulet::uarch
+
+#endif // AMULET_UARCH_DYN_INST_HH

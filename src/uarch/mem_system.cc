@@ -1,0 +1,357 @@
+#include "uarch/mem_system.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace amulet::uarch
+{
+
+bool
+SideBuffer::contains(Addr line_addr) const
+{
+    return std::find(lines_.begin(), lines_.end(), line_addr) !=
+           lines_.end();
+}
+
+Addr
+SideBuffer::insert(Addr line_addr)
+{
+    if (contains(line_addr))
+        return kNoAddr;
+    Addr evicted = kNoAddr;
+    if (lines_.size() >= capacity_) {
+        evicted = lines_.front();
+        lines_.pop_front();
+    }
+    lines_.push_back(line_addr);
+    return evicted;
+}
+
+void
+SideBuffer::erase(Addr line_addr)
+{
+    auto it = std::find(lines_.begin(), lines_.end(), line_addr);
+    if (it != lines_.end())
+        lines_.erase(it);
+}
+
+std::vector<Addr>
+SideBuffer::snapshot() const
+{
+    std::vector<Addr> out(lines_.begin(), lines_.end());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+MemSystem::MemSystem(const CoreParams &params, EventLog &log)
+    : params_(params),
+      log_(log),
+      l1d_(params.l1d),
+      l1i_(params.l1i),
+      l2_(params.l2),
+      dtlb_(params.tlbEntries)
+{
+}
+
+void
+MemSystem::enqueueL1D(MemReq req)
+{
+    l1dQueue_.push_back(std::move(req));
+}
+
+void
+MemSystem::requestIfetch(Addr line_addr)
+{
+    if (std::find(ifetchQueue_.begin(), ifetchQueue_.end(), line_addr) !=
+        ifetchQueue_.end()) {
+        return;
+    }
+    for (const Mshr &m : l1iMshrs_) {
+        if (m.lineAddr == line_addr)
+            return;
+    }
+    ifetchQueue_.push_back(line_addr);
+}
+
+bool
+MemSystem::ifetchHit(Addr pc)
+{
+    const Addr line = l1i_.lineAddrOf(pc);
+    if (!l1i_.present(line))
+        return false;
+    l1i_.touch(line);
+    return true;
+}
+
+unsigned
+MemSystem::dtlbAccess(Addr addr, unsigned size, SeqNum seq, Addr pc)
+{
+    const Addr first_vpn = Tlb::vpnOf(addr);
+    const Addr last_vpn = Tlb::vpnOf(addr + (size ? size - 1 : 0));
+    bool missed = false;
+    for (Addr vpn = first_vpn; vpn <= last_vpn; ++vpn) {
+        if (dtlb_.present(vpn)) {
+            dtlb_.touch(vpn);
+        } else {
+            missed = true;
+            dtlb_.fill(vpn);
+            log_.record(0, EventKind::TlbFill, seq, pc,
+                        vpn << mem::kPageShift);
+        }
+    }
+    return missed ? params_.tlbWalkLatency : 1;
+}
+
+void
+MemSystem::complete(MemReq req)
+{
+    if (onComplete_)
+        onComplete_(req);
+}
+
+Cycle
+MemSystem::scheduleFill(Cycle now, Addr line_addr)
+{
+    // The L2/memory side services one fill per l2ServiceInterval cycles;
+    // this shared bandwidth is what couples speculative D-misses to
+    // instruction-fetch timing.
+    const Cycle start = std::max(now, l2NextFree_);
+    l2NextFree_ = start + params_.l2ServiceInterval;
+    const unsigned latency = l2_.present(line_addr)
+                                 ? params_.l2HitLatency
+                                 : params_.memLatency;
+    return start + latency;
+}
+
+void
+MemSystem::installDemandFill(MemReq &req)
+{
+    switch (req.dest) {
+      case FillDest::L1D: {
+        bool victim_non_spec = false;
+        const Addr evicted =
+            l1d_.install(req.lineAddr, req.markNonSpec, &victim_non_spec);
+        req.evictedLine = evicted;
+        req.evictedWasNonSpec = victim_non_spec;
+        log_.record(now_, EventKind::CacheFill, req.seq, req.pc,
+                    req.lineAddr, "L1D");
+        if (evicted != kNoAddr)
+            log_.record(now_, EventKind::CacheEvict, req.seq, req.pc,
+                        evicted, "L1D");
+        break;
+      }
+      case FillDest::SideBuffer:
+        // The defense inserts into its buffer from the completion handler
+        // (it must check the owner was not squashed-and-dropped first).
+        break;
+      case FillDest::None:
+        break;
+    }
+}
+
+void
+MemSystem::processL1dHead(Cycle now)
+{
+    if (l1dQueue_.empty())
+        return;
+    MemReq &head = l1dQueue_.front();
+
+    // Cleanup requests occupy the controller for a fixed latency; the
+    // defense applies the actual state change on completion. This is what
+    // puts rollback on the critical path (unXpec / KV2).
+    if (head.kind == ReqKind::Cleanup) {
+        if (!cleanupInProgress_) {
+            cleanupInProgress_ = true;
+            cleanupBusyUntil_ = now + params_.cleanupLatency;
+            return;
+        }
+        if (now >= cleanupBusyUntil_) {
+            cleanupInProgress_ = false;
+            MemReq req = head;
+            l1dQueue_.pop_front();
+            complete(std::move(req));
+        }
+        return;
+    }
+
+    // Hit in the L1D?
+    if (l1d_.present(head.lineAddr)) {
+        if (!head.invisibleHit)
+            l1d_.touch(head.lineAddr);
+        if (head.markNonSpec)
+            l1d_.markNonSpecTouched(head.lineAddr);
+        MemReq req = head;
+        req.wasHit = true;
+        l1dQueue_.pop_front();
+        hitCompletions_.push_back({now + params_.l1HitLatency,
+                                   std::move(req)});
+        return;
+    }
+
+    // Hit in the defense side buffer (InvisiSpec spec buffer / SpecLFB)?
+    if (head.probeSideBuffer && sideBuffer_ &&
+        sideBuffer_->contains(head.lineAddr)) {
+        MemReq req = head;
+        req.wasHit = true;
+        req.sideBufferHit = true;
+        l1dQueue_.pop_front();
+        hitCompletions_.push_back({now + params_.l1HitLatency,
+                                   std::move(req)});
+        return;
+    }
+
+    // Miss path. InvisiSpec UV1: the buggy implementation triggers an L1
+    // replacement for speculative loads when the set is full, leaking the
+    // victim's address (Listing 1 of the paper).
+    if (head.bugSpecEvict && l1d_.setFull(head.lineAddr)) {
+        const Addr victim = l1d_.evictVictim(head.lineAddr);
+        if (victim != kNoAddr) {
+            log_.record(now, EventKind::SpecEviction, head.seq, head.pc,
+                        victim, "UV1 spec replacement");
+            log_.record(now, EventKind::CacheEvict, head.seq, head.pc,
+                        victim, "L1D");
+        }
+        head.bugSpecEvict = false; // only once per request
+    }
+
+    // Coalesce with an outstanding MSHR for the same line.
+    for (Mshr &m : l1dMshrs_) {
+        if (m.lineAddr == head.lineAddr) {
+            m.targets.push_back(head);
+            l1dQueue_.pop_front();
+            return;
+        }
+    }
+
+    // Allocate a new MSHR; head-of-line blocks when none is free.
+    if (l1dMshrs_.size() >= params_.l1dMshrs) {
+        log_.record(now, EventKind::MshrStall, head.seq, head.pc,
+                    head.lineAddr);
+        if (head.kind == ReqKind::Expose)
+            log_.record(now, EventKind::ExposeStall, head.seq, head.pc,
+                        head.lineAddr, "UV2 expose blocked by MSHRs");
+        return;
+    }
+    Mshr mshr;
+    mshr.lineAddr = head.lineAddr;
+    mshr.fillAt = scheduleFill(now, head.lineAddr);
+    mshr.targets.push_back(head);
+    l1dQueue_.pop_front();
+    l1dMshrs_.push_back(std::move(mshr));
+}
+
+void
+MemSystem::processIfetch(Cycle now)
+{
+    if (ifetchQueue_.empty())
+        return;
+    const Addr line = ifetchQueue_.front();
+    if (l1i_.present(line)) {
+        ifetchQueue_.pop_front();
+        return;
+    }
+    if (l1iMshrs_.size() >= params_.l1iMshrs)
+        return;
+    Mshr mshr;
+    mshr.lineAddr = line;
+    mshr.fillAt = scheduleFill(now, line);
+    l1iMshrs_.push_back(std::move(mshr));
+    ifetchQueue_.pop_front();
+}
+
+void
+MemSystem::tick(Cycle now)
+{
+    now_ = now;
+    // 1. Demand-fill completions (also frees MSHRs, unblocking the queue).
+    for (std::size_t i = 0; i < l1dMshrs_.size();) {
+        if (l1dMshrs_[i].fillAt > now) {
+            ++i;
+            continue;
+        }
+        Mshr mshr = std::move(l1dMshrs_[i]);
+        l1dMshrs_.erase(l1dMshrs_.begin() + static_cast<long>(i));
+        l2_.install(mshr.lineAddr);
+        for (MemReq &req : mshr.targets) {
+            req.wasHit = false;
+            installDemandFill(req);
+            complete(std::move(req));
+        }
+    }
+
+    // 2. Instruction fills.
+    for (std::size_t i = 0; i < l1iMshrs_.size();) {
+        if (l1iMshrs_[i].fillAt > now) {
+            ++i;
+            continue;
+        }
+        const Addr line = l1iMshrs_[i].lineAddr;
+        l1iMshrs_.erase(l1iMshrs_.begin() + static_cast<long>(i));
+        l2_.install(line);
+        l1i_.install(line);
+        log_.record(now, EventKind::CacheFill, kNoSeq, 0, line, "L1I");
+    }
+
+    // 3. Hit completions.
+    for (std::size_t i = 0; i < hitCompletions_.size();) {
+        if (hitCompletions_[i].at > now) {
+            ++i;
+            continue;
+        }
+        MemReq req = std::move(hitCompletions_[i].req);
+        hitCompletions_.erase(hitCompletions_.begin() +
+                              static_cast<long>(i));
+        complete(std::move(req));
+    }
+
+    // 4. Queue heads (one dequeue per cycle, in order).
+    processL1dHead(now);
+    processIfetch(now);
+}
+
+bool
+MemSystem::idle() const
+{
+    return l1dQueue_.empty() && l1dMshrs_.empty() &&
+           hitCompletions_.empty() && ifetchQueue_.empty() &&
+           l1iMshrs_.empty();
+}
+
+void
+MemSystem::resetInFlight()
+{
+    l1dQueue_.clear();
+    l1dMshrs_.clear();
+    hitCompletions_.clear();
+    ifetchQueue_.clear();
+    l1iMshrs_.clear();
+    cleanupInProgress_ = false;
+    cleanupBusyUntil_ = 0;
+    l2NextFree_ = 0;
+}
+
+void
+MemSystem::flushCleanups()
+{
+    for (std::size_t i = 0; i < l1dQueue_.size();) {
+        if (l1dQueue_[i].kind != ReqKind::Cleanup) {
+            ++i;
+            continue;
+        }
+        MemReq req = l1dQueue_[i];
+        l1dQueue_.erase(l1dQueue_.begin() + static_cast<long>(i));
+        complete(std::move(req));
+    }
+    cleanupInProgress_ = false;
+}
+
+void
+MemSystem::invalidateAll()
+{
+    l1d_.invalidateAll();
+    l1i_.invalidateAll();
+    l2_.invalidateAll();
+    dtlb_.flush();
+}
+
+} // namespace amulet::uarch

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Memory system: L1I/L1D/L2 caches, D-TLB, finite MSHRs, and in-order
+ * cache-controller queues.
+ *
+ * The L1D controller processes its queue head-of-line: a request that
+ * needs an MSHR when none is free stalls every request behind it — the
+ * exact mechanism behind the same-core speculative interference finding
+ * (UV2, §4.5.1). Defense-specific behaviours are expressed as request
+ * flags (fill destination, invisible hits, the UV1 eviction bug) plus an
+ * optional defense-owned side buffer (InvisiSpec speculative buffer /
+ * SpecLFB line-fill buffer) probed after the L1D.
+ */
+
+#ifndef AMULET_UARCH_MEM_SYSTEM_HH
+#define AMULET_UARCH_MEM_SYSTEM_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/event_log.hh"
+#include "common/types.hh"
+#include "uarch/cache.hh"
+#include "uarch/params.hh"
+#include "uarch/tlb.hh"
+
+namespace amulet::uarch
+{
+
+/** Request categories handled by the L1D controller. */
+enum class ReqKind : std::uint8_t
+{
+    Load,            ///< demand load (possibly speculative)
+    StoreInstall,    ///< committed store write-allocate
+    SpecStoreInstall,///< CleanupSpec: speculative store install at execute
+    Expose,          ///< InvisiSpec: make a safe load's line visible
+    Cleanup,         ///< CleanupSpec: timed rollback slot (defense applies)
+};
+
+/** Where a demand miss's fill goes. */
+enum class FillDest : std::uint8_t
+{
+    L1D,        ///< normal install (evicting if needed)
+    SideBuffer, ///< defense buffer (spec buffer / LFB); no L1 install
+    None,       ///< data only (no state change)
+};
+
+/** One memory-system request. */
+struct MemReq
+{
+    ReqKind kind = ReqKind::Load;
+    Addr lineAddr = 0;
+    SeqNum seq = kNoSeq;   ///< owning instruction (kNoSeq for none)
+    Addr pc = 0;
+    FillDest dest = FillDest::L1D;
+    bool invisibleHit = false;  ///< don't refresh LRU on an L1 hit
+    bool probeSideBuffer = false; ///< side-buffer hits satisfy the request
+    bool bugSpecEvict = false;  ///< InvisiSpec UV1: evict on full-set miss
+    bool markNonSpec = false;   ///< CleanupSpec noClean metadata on touch
+    bool splitPiece = false;    ///< part of a line-crossing access
+    /** Cleanup payload (kind == Cleanup). */
+    Addr cleanupInvalidate = kNoAddr;
+    Addr cleanupRestore = kNoAddr;
+
+    /** @name Filled in at completion */
+    /// @{
+    bool wasHit = false;        ///< L1 (or side-buffer) hit
+    bool sideBufferHit = false;
+    Addr evictedLine = kNoAddr; ///< line evicted by this fill/install
+    bool evictedWasNonSpec = false; ///< victim carried the noClean mark
+    /// @}
+};
+
+/** Defense-owned fully-associative line buffer (FIFO replacement). */
+class SideBuffer
+{
+  public:
+    explicit SideBuffer(unsigned capacity) : capacity_(capacity) {}
+
+    bool contains(Addr line_addr) const;
+
+    /** Insert a line; evicts the oldest if full.
+     *  @return evicted line or kNoAddr. */
+    Addr insert(Addr line_addr);
+
+    void erase(Addr line_addr);
+    void clear() { lines_.clear(); }
+    std::size_t size() const { return lines_.size(); }
+    std::vector<Addr> snapshot() const;
+
+  private:
+    unsigned capacity_;
+    std::deque<Addr> lines_;
+};
+
+/** The full cache/TLB hierarchy with timing. */
+class MemSystem
+{
+  public:
+    using CompletionHandler = std::function<void(const MemReq &)>;
+
+    MemSystem(const CoreParams &params, EventLog &log);
+
+    /** Handler invoked once per completed L1D request. */
+    void setCompletionHandler(CompletionHandler handler)
+    {
+        onComplete_ = std::move(handler);
+    }
+
+    /** Defense-owned side buffer probed by flagged requests (or null). */
+    void setSideBuffer(SideBuffer *buffer) { sideBuffer_ = buffer; }
+
+    /** Enqueue a request on the (in-order) L1D controller queue. */
+    void enqueueL1D(MemReq req);
+
+    /** Request an instruction line (idempotent while outstanding). */
+    void requestIfetch(Addr line_addr);
+
+    /** Is the line holding @p pc in the L1I? (refreshes LRU) */
+    bool ifetchHit(Addr pc);
+
+    /**
+     * Perform a D-TLB access for [addr, addr+size): fills missing pages
+     * immediately, returns the access latency (1 on hit, walk latency on
+     * any miss). Emits TlbFill events.
+     */
+    unsigned dtlbAccess(Addr addr, unsigned size, SeqNum seq, Addr pc);
+
+    /** Advance one cycle: deliver fills/completions, process queue heads.
+     */
+    void tick(Cycle now);
+
+    /** Pending work? (for tests/draining) */
+    bool idle() const;
+
+    /** Drop all in-flight requests and MSHRs (between runs). */
+    void resetInFlight();
+
+    /** Apply all still-queued Cleanup requests immediately (run end).
+     *  CleanupSpec guarantees rollback completes; a test ending mid-queue
+     *  must not leave speculative state visible. */
+    void flushCleanups();
+
+    /** Invalidate L1I + L1D + L2 and flush the TLB. */
+    void invalidateAll();
+
+    /** @name Direct structure access (defenses, priming, traces) */
+    /// @{
+    Cache &l1d() { return l1d_; }
+    Cache &l1i() { return l1i_; }
+    Cache &l2() { return l2_; }
+    Tlb &dtlb() { return dtlb_; }
+    const Cache &l1d() const { return l1d_; }
+    const Cache &l1i() const { return l1i_; }
+    const Cache &l2() const { return l2_; }
+    const Tlb &dtlb() const { return dtlb_; }
+    /// @}
+
+    unsigned l1dMshrsInUse() const
+    {
+        return static_cast<unsigned>(l1dMshrs_.size());
+    }
+    bool l1dMshrAvailable() const
+    {
+        return l1dMshrs_.size() < params_.l1dMshrs;
+    }
+
+  private:
+    struct Mshr
+    {
+        Addr lineAddr;
+        Cycle fillAt;
+        std::vector<MemReq> targets;
+    };
+
+    struct PendingCompletion
+    {
+        Cycle at;
+        MemReq req;
+    };
+
+    void complete(MemReq req);
+    Cycle scheduleFill(Cycle now, Addr line_addr);
+    Cycle now_ = 0; ///< last tick time (event timestamps)
+    void processL1dHead(Cycle now);
+    void processIfetch(Cycle now);
+    void installDemandFill(MemReq &req);
+
+    const CoreParams &params_;
+    EventLog &log_;
+    Cache l1d_;
+    Cache l1i_;
+    Cache l2_;
+    Tlb dtlb_;
+    SideBuffer *sideBuffer_ = nullptr;
+    CompletionHandler onComplete_;
+
+    std::deque<MemReq> l1dQueue_;
+    std::vector<Mshr> l1dMshrs_;
+    std::vector<PendingCompletion> hitCompletions_;
+    Cycle cleanupBusyUntil_ = 0;
+    bool cleanupInProgress_ = false;
+
+    std::deque<Addr> ifetchQueue_;
+    std::vector<Mshr> l1iMshrs_;
+    Cycle l2NextFree_ = 0; ///< shared L2/memory service bandwidth
+};
+
+} // namespace amulet::uarch
+
+#endif // AMULET_UARCH_MEM_SYSTEM_HH

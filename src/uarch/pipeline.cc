@@ -1,0 +1,865 @@
+#include "uarch/pipeline.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bitutil.hh"
+#include "defense/defense.hh"
+#include "isa/semantics.hh"
+
+namespace amulet::uarch
+{
+
+using isa::Inst;
+using isa::Op;
+using isa::OpndKind;
+
+namespace
+{
+
+/** Does the destination register's old value feed the computation?
+ *  (Mirrors Inst::regsRead; kept in sync by the ISA unit tests.) */
+bool
+needsDstOldValue(const Inst &si)
+{
+    if (si.dstKind != OpndKind::Reg)
+        return false;
+    switch (si.op) {
+      case Op::Add:
+      case Op::Sub:
+      case Op::And:
+      case Op::Or:
+      case Op::Xor:
+      case Op::Imul:
+      case Op::Shl:
+      case Op::Shr:
+      case Op::Sar:
+      case Op::Neg:
+      case Op::Not:
+      case Op::Cmp:
+      case Op::Test:
+      case Op::Cmov:
+      case Op::Set:
+        return true;
+      case Op::Mov:
+        return si.width < 4;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+Pipeline::Pipeline(const CoreParams &params, mem::MemoryImage &memory,
+                   EventLog &log)
+    : params_(params),
+      memory_(memory),
+      log_(log),
+      mem_(params, log),
+      bp_(params),
+      mdp_(params)
+{
+    defaultDefense_ = std::make_unique<defense::Defense>();
+    setDefense(defaultDefense_.get());
+    mem_.setCompletionHandler(
+        [this](const MemReq &req) { onMemReqComplete(req); });
+}
+
+Pipeline::~Pipeline() = default;
+
+void
+Pipeline::setDefense(defense::Defense *defense)
+{
+    defense_ = defense;
+    defense_->attach(this, &mem_, &log_);
+}
+
+void
+Pipeline::setProgram(const isa::FlatProgram *prog)
+{
+    prog_ = prog;
+}
+
+void
+Pipeline::setArchRegs(const std::array<RegVal, isa::kNumRegs> &regs,
+                      isa::Flags flags)
+{
+    committedRegs_ = regs;
+    committedFlags_ = flags;
+}
+
+void
+Pipeline::reset()
+{
+    rob_.clear();
+    nextSeq_ = 1;
+    fetchIdx_ = 0;
+    fetchStalledOnL1i_ = false;
+    renameReg_.fill(kNoSeq);
+    renameFlags_ = kNoSeq;
+    now_ = 0;
+    halted_ = false;
+    committedInsts_ = 0;
+    squashes_ = 0;
+    loadsInFlight_ = 0;
+    storesInFlight_ = 0;
+    accessOrder_.clear();
+    branchPredOrder_.clear();
+    mem_.resetInFlight();
+    defense_->reset();
+}
+
+DynInst *
+Pipeline::entry(SeqNum seq)
+{
+    if (seq == kNoSeq || rob_.empty())
+        return nullptr;
+    // Sequence numbers are strictly increasing in the ROB (squashes only
+    // remove a suffix), so binary search applies.
+    auto it = std::lower_bound(rob_.begin(), rob_.end(), seq,
+                               [](const DynInst &e, SeqNum s) {
+                                   return e.seq < s;
+                               });
+    if (it == rob_.end() || it->seq != seq)
+        return nullptr;
+    return &*it;
+}
+
+bool
+Pipeline::olderUnsafeLoadExists(SeqNum seq) const
+{
+    for (const DynInst &e : rob_) {
+        if (e.seq >= seq)
+            break;
+        if (e.isLoad && !e.safe && !e.squashed && !e.committed)
+            return true;
+    }
+    return false;
+}
+
+std::uint64_t
+Pipeline::readSrcValue(const DynInst::SrcReg &src) const
+{
+    if (src.producer != kNoSeq) {
+        const DynInst *producer =
+            const_cast<Pipeline *>(this)->entry(src.producer);
+        if (producer) {
+            assert(producer->executed && "reading an unfinished producer");
+            // Loopne's register side-effect lives in `result`.
+            return producer->result;
+        }
+    }
+    return committedRegs_[isa::regIndex(src.reg)];
+}
+
+isa::Flags
+Pipeline::readFlagsValue(SeqNum producer) const
+{
+    if (producer != kNoSeq) {
+        const DynInst *p = const_cast<Pipeline *>(this)->entry(producer);
+        if (p) {
+            assert(p->executed);
+            return p->flagsOut;
+        }
+    }
+    return committedFlags_;
+}
+
+bool
+Pipeline::srcsReady(const DynInst &inst, bool address_only) const
+{
+    auto producer_done = [this](SeqNum producer) {
+        if (producer == kNoSeq)
+            return true;
+        const DynInst *p = const_cast<Pipeline *>(this)->entry(producer);
+        return !p || p->executed;
+    };
+    for (const auto &src : inst.srcs) {
+        const bool relevant = address_only ? src.forAddress : src.forData;
+        if (relevant && !producer_done(src.producer))
+            return false;
+    }
+    if (!address_only && inst.needsFlags &&
+        !producer_done(inst.flagsProducer)) {
+        return false;
+    }
+    return true;
+}
+
+Addr
+Pipeline::computeEffAddr(const DynInst &inst) const
+{
+    const isa::MemRef &m = inst.si.mem;
+    std::uint64_t base = 0;
+    std::uint64_t index = 0;
+    for (const auto &src : inst.srcs) {
+        if (!src.forAddress)
+            continue;
+        if (src.reg == m.base)
+            base = readSrcValue(src);
+        if (m.hasIndex && src.reg == m.index)
+            index = readSrcValue(src);
+    }
+    return base + (m.hasIndex ? index : 0) +
+           static_cast<std::int64_t>(m.disp);
+}
+
+DynInst
+Pipeline::makeDynInst(std::size_t idx)
+{
+    DynInst d;
+    d.seq = nextSeq_++;
+    d.idx = idx;
+    d.pc = prog_->pcOf(idx);
+    if (idx < prog_->numInsts()) {
+        d.si = prog_->inst(idx);
+    } else {
+        d.si = Inst{}; // runahead NOP beyond the program
+    }
+    d.isLoad = d.si.isLoad();
+    d.isStore = d.si.isStore();
+    d.memSize = d.si.width;
+    d.fetchCycle = now_;
+
+    auto add_src = [&d, this](isa::Reg reg, bool for_addr, bool for_data) {
+        for (auto &src : d.srcs) {
+            if (src.reg == reg) {
+                src.forAddress |= for_addr;
+                src.forData |= for_data;
+                return;
+            }
+        }
+        d.srcs.push_back(
+            {reg, renameReg_[isa::regIndex(reg)], for_addr, for_data});
+    };
+
+    const Inst &si = d.si;
+    if (si.isMemAccess()) {
+        add_src(si.mem.base, true, false);
+        if (si.mem.hasIndex)
+            add_src(si.mem.index, true, false);
+    }
+    if (si.op == Op::Lea) {
+        add_src(si.mem.base, false, true);
+        if (si.mem.hasIndex)
+            add_src(si.mem.index, false, true);
+    }
+    if (si.srcKind == OpndKind::Reg)
+        add_src(si.src, false, true);
+    if (needsDstOldValue(si))
+        add_src(si.dst, false, true);
+    if (si.op == Op::Loopne)
+        add_src(isa::Reg::Rcx, false, true);
+
+    d.needsFlags = si.readsFlags();
+    d.flagsProducer = renameFlags_;
+
+    // Rename destinations after capturing sources.
+    for (isa::Reg r : si.regsWritten())
+        renameReg_[isa::regIndex(r)] = d.seq;
+    if (si.writesFlags())
+        renameFlags_ = d.seq;
+
+    return d;
+}
+
+void
+Pipeline::rebuildRenameTable()
+{
+    renameReg_.fill(kNoSeq);
+    renameFlags_ = kNoSeq;
+    for (const DynInst &e : rob_) {
+        for (isa::Reg r : e.si.regsWritten())
+            renameReg_[isa::regIndex(r)] = e.seq;
+        if (e.si.writesFlags())
+            renameFlags_ = e.seq;
+    }
+}
+
+void
+Pipeline::squashAfter(SeqNum keep_up_to, std::size_t new_fetch_idx,
+                      std::uint32_t restore_ghr, EventKind reason,
+                      SeqNum trigger_seq)
+{
+    while (!rob_.empty() && rob_.back().seq > keep_up_to) {
+        DynInst &victim = rob_.back();
+        victim.squashed = true;
+        if (victim.isLoad)
+            --loadsInFlight_;
+        if (victim.isStore)
+            --storesInFlight_;
+        defense_->onSquash(victim);
+        rob_.pop_back();
+    }
+    log_.record(now_, reason, trigger_seq);
+    ++squashes_;
+    fetchIdx_ = new_fetch_idx;
+    fetchStalledOnL1i_ = false;
+    bp_.restoreGhr(restore_ghr);
+    rebuildRenameTable();
+}
+
+void
+Pipeline::computeSafety()
+{
+    const SpecMode mode = defense_->specMode();
+    bool risk = false;
+    std::vector<SeqNum> newly_safe;
+    for (DynInst &e : rob_) {
+        const bool was_safe = e.safe;
+        e.safe = !risk;
+        if (e.safe && !was_safe)
+            newly_safe.push_back(e.seq);
+        if (e.isBranch() && !e.executed)
+            risk = true;
+        if (e.si.op == Op::Fence && !e.executed)
+            risk = true;
+        if (mode == SpecMode::Futuristic && e.isStore && !e.addrReady)
+            risk = true;
+    }
+    for (SeqNum seq : newly_safe) {
+        if (DynInst *e = entry(seq))
+            defense_->onBecameSafe(*e);
+    }
+}
+
+void
+Pipeline::resolveBranch(DynInst &e)
+{
+    bool taken = false;
+    std::size_t next_idx = e.idx + 1;
+    switch (e.si.op) {
+      case Op::Jmp:
+        taken = true;
+        next_idx = prog_->targetIdx(e.idx);
+        break;
+      case Op::Jcc:
+        taken = condEval(e.si.cond, readFlagsValue(e.flagsProducer));
+        if (taken)
+            next_idx = prog_->targetIdx(e.idx);
+        break;
+      case Op::Loopne: {
+        std::uint64_t rcx = 0;
+        for (const auto &src : e.srcs) {
+            if (src.reg == isa::Reg::Rcx)
+                rcx = readSrcValue(src);
+        }
+        rcx -= 1;
+        e.result = rcx;
+        e.resultValid = true;
+        const isa::Flags f = readFlagsValue(e.flagsProducer);
+        taken = rcx != 0 && !f.zf;
+        if (taken)
+            next_idx = prog_->targetIdx(e.idx);
+        break;
+      }
+      default:
+        assert(false);
+    }
+    e.actualTaken = taken;
+    e.actualNextIdx = next_idx;
+    e.executed = true;
+    e.execCycle = now_;
+
+    if (next_idx != e.predNextIdx) {
+        e.mispredicted = true;
+        squashAfter(e.seq, next_idx, e.ghrAtFetch,
+                    EventKind::SquashBranch, e.seq);
+        if (e.si.isCondBranch())
+            bp_.updateGhrSpeculative(taken);
+    }
+}
+
+void
+Pipeline::finalizeData(DynInst &e)
+{
+    const Inst &si = e.si;
+    std::uint64_t src = 0;
+    switch (si.srcKind) {
+      case OpndKind::Reg:
+        for (const auto &s : e.srcs) {
+            if (s.forData && s.reg == si.src) {
+                src = truncateToSize(readSrcValue(s), si.width);
+                break;
+            }
+        }
+        break;
+      case OpndKind::Imm:
+        src = static_cast<std::uint64_t>(si.imm);
+        break;
+      case OpndKind::Mem:
+        src = e.loadValue;
+        break;
+      case OpndKind::None:
+        break;
+    }
+
+    std::uint64_t dst_old = 0;
+    if (si.dstKind == OpndKind::Mem) {
+        dst_old = e.loadValue;
+    } else if (needsDstOldValue(si)) {
+        for (const auto &s : e.srcs) {
+            if (s.forData && s.reg == si.dst) {
+                dst_old = readSrcValue(s);
+                break;
+            }
+        }
+    }
+
+    Addr addr = e.memAddr;
+    if (si.op == Op::Lea)
+        addr = computeEffAddr(e);
+
+    // Only flag-reading ops (CMOV/SETcc) may touch the producer; for
+    // everything else it can still be in flight.
+    const isa::Flags flags_in = e.needsFlags
+                                    ? readFlagsValue(e.flagsProducer)
+                                    : isa::Flags{};
+    const isa::ExecResult res = isa::evalOp(si, dst_old, src, addr,
+                                            flags_in);
+    e.flagsOut = res.flags;
+    e.writesFlagsOut = res.writesFlags;
+    if (res.writesDst) {
+        if (si.dstKind == OpndKind::Reg) {
+            e.result = res.value;
+            e.resultValid = true;
+        } else if (si.dstKind == OpndKind::Mem) {
+            e.storeData = res.value;
+            e.storeDataValid = true;
+        }
+    }
+    e.executed = true;
+    e.execCycle = now_;
+}
+
+void
+Pipeline::storeResolved(DynInst &store)
+{
+    log_.record(now_, EventKind::StoreExec, store.seq, store.pc,
+                store.memAddr);
+    defense_->onStoreAddrReady(store);
+
+    // Memory-order (Spectre-v4) check: younger loads that already read
+    // memory while this store's address was unknown must be squashed.
+    for (std::size_t i = 0; i < rob_.size(); ++i) {
+        DynInst &e = rob_[i];
+        if (e.seq <= store.seq || !e.isLoad)
+            continue;
+        const bool has_read = e.loadPhase == LoadPhase::WaitCache ||
+                              e.loadPhase == LoadPhase::Done;
+        if (!has_read)
+            continue;
+        if (!rangesOverlap(e.memAddr, e.memSize, store.memAddr,
+                           store.memSize)) {
+            continue;
+        }
+        if (e.forwardedFromStore && e.forwardingStore >= store.seq)
+            continue; // got its data from a younger (more recent) store
+        mdp_.trainViolation(e.pc);
+        squashAfter(e.seq - 1, e.idx, e.ghrAtFetch,
+                    EventKind::SquashMemOrder, store.seq);
+        break;
+    }
+}
+
+void
+Pipeline::tryStartLoadAccess(DynInst &e)
+{
+    // Store-queue scan, youngest older store first.
+    bool bypassed_unknown = false;
+    const DynInst *forward_from = nullptr;
+    for (auto it = rob_.rbegin(); it != rob_.rend(); ++it) {
+        const DynInst &st = *it;
+        if (st.seq >= e.seq)
+            continue;
+        if (!st.isStore || st.squashed)
+            continue;
+        if (!st.addrReady) {
+            if (mdp_.predictDependence(e.pc))
+                return; // predicted dependence: wait for resolution
+            bypassed_unknown = true;
+            continue;
+        }
+        if (!rangesOverlap(e.memAddr, e.memSize, st.memAddr, st.memSize))
+            continue;
+        const bool contained = e.memAddr >= st.memAddr &&
+                               e.memAddr + e.memSize <=
+                                   st.memAddr + st.memSize;
+        if (contained && st.storeDataValid) {
+            forward_from = &st;
+            break;
+        }
+        // Partial overlap or data not ready: wait.
+        return;
+    }
+
+    if (forward_from) {
+        const unsigned shift =
+            static_cast<unsigned>(e.memAddr - forward_from->memAddr) * 8;
+        e.loadValue = truncateToSize(forward_from->storeData >> shift,
+                                     e.memSize);
+        e.loadDataValid = true;
+        e.forwardedFromStore = true;
+        e.forwardingStore = forward_from->seq;
+        e.loadPhase = LoadPhase::Done;
+        return;
+    }
+
+    // Read architectural memory now (stale-read semantics for v4), then
+    // model timing through the cache hierarchy.
+    e.bypassedUnknownStore = bypassed_unknown;
+    e.loadValue = memory_.read(e.memAddr, e.memSize);
+
+    defense::LoadPlan plan = defense_->planLoad(e);
+    if (plan.block)
+        return; // defense veto at access time; retry next cycle
+
+    const Addr line_a = mem_.l1d().lineAddrOf(e.memAddr);
+    const Addr line_b = mem_.l1d().lineAddrOf(e.memAddr + e.memSize - 1);
+    e.split = line_a != line_b;
+    if (e.split)
+        log_.record(now_, EventKind::SplitRequest, e.seq, e.pc, e.memAddr);
+    e.pendingFills = e.split ? 2 : 1;
+    auto enqueue_line = [&](Addr line) {
+        MemReq req;
+        req.kind = ReqKind::Load;
+        req.lineAddr = line;
+        req.seq = e.seq;
+        req.pc = e.pc;
+        req.dest = plan.dest;
+        req.invisibleHit = plan.invisibleHit;
+        req.probeSideBuffer = plan.probeSideBuffer;
+        req.bugSpecEvict = plan.bugSpecEvict;
+        req.markNonSpec = plan.markNonSpec;
+        req.splitPiece = e.split;
+        mem_.enqueueL1D(req);
+    };
+    enqueue_line(line_a);
+    if (e.split)
+        enqueue_line(line_b);
+    e.loadPhase = LoadPhase::WaitCache;
+    log_.record(now_, EventKind::LoadExec, e.seq, e.pc, e.memAddr);
+    if (bypassed_unknown)
+        log_.record(now_, EventKind::LoadBypassedStore, e.seq, e.pc,
+                    e.memAddr);
+}
+
+void
+Pipeline::advanceMemOps()
+{
+    for (std::size_t i = 0; i < rob_.size(); ++i) {
+        DynInst &e = rob_[i];
+        if (e.squashed)
+            continue;
+
+        // Pure-store address resolution after translation completes
+        // (the RMW store side resolves through the load path below).
+        if (e.isStore && !e.isLoad && e.issued && !e.addrReady &&
+            e.tlbPending && now_ >= e.tlbDoneCycle) {
+            e.tlbPending = false;
+            e.addrReady = true;
+            e.storeTlbDone = true;
+            storeResolved(e);
+        }
+
+        if (!e.isLoad || !e.issued)
+            continue;
+
+        if (e.loadPhase == LoadPhase::WaitTlb && now_ >= e.tlbDoneCycle) {
+            e.tlbPending = false;
+            if (e.isStore && !e.addrReady) { // RMW store side
+                e.addrReady = true;
+                e.storeTlbDone = true;
+                storeResolved(e);
+            }
+            e.loadPhase = LoadPhase::WaitStore;
+        }
+        if (e.loadPhase == LoadPhase::WaitStore)
+            tryStartLoadAccess(e);
+    }
+}
+
+void
+Pipeline::issueStage()
+{
+    unsigned budget = params_.issueWidth;
+    bool all_older_executed = true;
+    for (std::size_t i = 0; i < rob_.size() && budget > 0; ++i) {
+        DynInst &e = rob_[i];
+
+        if (e.si.op == Op::Fence) {
+            if (!e.issued && all_older_executed) {
+                e.issued = true;
+                e.issueCycle = now_;
+                e.doneCycle = now_ + 1;
+                --budget;
+            }
+            if (!e.executed)
+                break; // younger instructions wait for the fence
+        }
+
+        if (!e.issued) {
+            if (e.isLoad || e.isStore) {
+                if (srcsReady(e, true)) {
+                    bool blocked = false;
+                    if (e.isLoad && defense_->blockLoadIssue(e))
+                        blocked = true;
+                    if (!blocked && e.isStore && !e.isLoad &&
+                        defense_->blockStoreExec(e)) {
+                        blocked = true;
+                    }
+                    if (!blocked) {
+                        e.issued = true;
+                        e.issueCycle = now_;
+                        e.wasUnsafeAtIssue = !e.safe;
+                        e.memAddr = computeEffAddr(e);
+                        accessOrder_.push_back({e.pc, e.memAddr,
+                                                e.isStore && !e.isLoad,
+                                                e.seq, now_});
+                        const unsigned lat = mem_.dtlbAccess(
+                            e.memAddr, e.memSize, e.seq, e.pc);
+                        e.tlbPending = true;
+                        e.tlbDoneCycle = now_ + lat;
+                        if (e.isLoad)
+                            e.loadPhase = LoadPhase::WaitTlb;
+                        --budget;
+                    }
+                }
+            } else if (e.si.op != Op::Fence) {
+                if (srcsReady(e, false)) {
+                    e.issued = true;
+                    e.issueCycle = now_;
+                    unsigned lat = params_.aluLatency;
+                    if (e.si.op == Op::Imul)
+                        lat = params_.mulLatency;
+                    if (e.isBranch())
+                        lat = params_.branchLatency;
+                    if (e.si.op == Op::Halt || e.si.op == Op::Nop)
+                        lat = 1;
+                    e.doneCycle = now_ + lat;
+                    --budget;
+                }
+            }
+        }
+        all_older_executed = all_older_executed && e.executed;
+    }
+}
+
+void
+Pipeline::executeStage()
+{
+    for (std::size_t i = 0; i < rob_.size(); ++i) {
+        DynInst &e = rob_[i];
+        if (e.squashed || e.executed || !e.issued)
+            continue;
+
+        if (!e.isLoad && !e.isStore) {
+            if (now_ < e.doneCycle)
+                continue;
+            if (e.isBranch()) {
+                resolveBranch(e);
+                continue;
+            }
+            if (e.si.op == Op::Nop || e.si.op == Op::Halt ||
+                e.si.op == Op::Fence) {
+                e.executed = true;
+                e.execCycle = now_;
+                continue;
+            }
+            finalizeData(e);
+            continue;
+        }
+
+        if (e.isLoad) {
+            if (e.loadPhase == LoadPhase::Done && srcsReady(e, false))
+                finalizeData(e);
+            continue;
+        }
+
+        // Plain store: needs address and data.
+        if (e.addrReady && srcsReady(e, false))
+            finalizeData(e);
+    }
+}
+
+void
+Pipeline::commitStage()
+{
+    for (unsigned n = 0; n < params_.commitWidth && !rob_.empty(); ++n) {
+        DynInst &e = rob_.front();
+        if (!e.executed)
+            break;
+
+        if (e.isStore) {
+            memory_.write(e.memAddr, e.memSize, e.storeData);
+            log_.record(now_, EventKind::StoreCommit, e.seq, e.pc,
+                        e.memAddr);
+            if (defense_->installStoreAtCommit(e)) {
+                const Addr line_a = mem_.l1d().lineAddrOf(e.memAddr);
+                const Addr line_b =
+                    mem_.l1d().lineAddrOf(e.memAddr + e.memSize - 1);
+                for (Addr line : {line_a, line_b}) {
+                    MemReq req;
+                    req.kind = ReqKind::StoreInstall;
+                    req.lineAddr = line;
+                    req.seq = e.seq;
+                    req.pc = e.pc;
+                    req.markNonSpec = true;
+                    mem_.enqueueL1D(req);
+                    if (line_a == line_b)
+                        break;
+                }
+            }
+        }
+        if (e.isBranch())
+            bp_.train(e.pc, e.actualTaken, e.actualNextIdx, e.ghrAtFetch);
+
+        // Commit-time footprint marking: the lines this instruction
+        // touched are architectural from here on (CleanupSpec's noClean
+        // metadata; the commit-time identification its authors propose
+        // for the overcleaning vulnerability). Pure metadata — ignored
+        // by defenses that do not consult it.
+        if ((e.isLoad || e.isStore) && e.issued && e.memSize > 0) {
+            mem_.l1d().markNonSpecTouched(
+                mem_.l1d().lineAddrOf(e.memAddr));
+            mem_.l1d().markNonSpecTouched(
+                mem_.l1d().lineAddrOf(e.memAddr + e.memSize - 1));
+        }
+
+        if (e.si.op == Op::Loopne) {
+            committedRegs_[isa::regIndex(isa::Reg::Rcx)] = e.result;
+        } else if (e.si.dstKind == OpndKind::Reg && e.resultValid) {
+            committedRegs_[isa::regIndex(e.si.dst)] = e.result;
+        }
+        if (e.writesFlagsOut)
+            committedFlags_ = e.flagsOut;
+
+        for (isa::Reg r : e.si.regsWritten()) {
+            if (renameReg_[isa::regIndex(r)] == e.seq)
+                renameReg_[isa::regIndex(r)] = kNoSeq;
+        }
+        if (renameFlags_ == e.seq)
+            renameFlags_ = kNoSeq;
+
+        e.committed = true;
+        e.commitCycle = now_;
+        log_.record(now_, EventKind::Commit, e.seq, e.pc);
+        ++committedInsts_;
+        if (e.isLoad)
+            --loadsInFlight_;
+        if (e.isStore)
+            --storesInFlight_;
+
+        const bool is_halt = e.si.op == Op::Halt;
+        rob_.pop_front();
+        if (is_halt) {
+            halted_ = true;
+            break;
+        }
+    }
+}
+
+void
+Pipeline::fetchStage()
+{
+    for (unsigned n = 0; n < params_.fetchWidth; ++n) {
+        if (rob_.size() >= params_.robSize)
+            return;
+        const std::size_t idx = fetchIdx_;
+        const Inst si =
+            idx < prog_->numInsts() ? prog_->inst(idx) : Inst{};
+        if (si.isLoad() && loadsInFlight_ >= params_.lqSize)
+            return;
+        if (si.isStore() && storesInFlight_ >= params_.sqSize)
+            return;
+
+        const Addr pc = prog_->pcOf(idx);
+        if (!mem_.ifetchHit(pc)) {
+            mem_.requestIfetch(mem_.l1i().lineAddrOf(pc));
+            return; // fetch stalls until the line arrives
+        }
+
+        DynInst d = makeDynInst(idx);
+        d.ghrAtFetch = bp_.ghr();
+
+        bool taken_branch = false;
+        if (d.isBranch()) {
+            const auto pred = bp_.predict(pc, d.si.isCondBranch());
+            d.predTaken = pred.taken;
+            d.ghrAtFetch = pred.ghrBefore;
+            d.predNextIdx = pred.taken ? pred.targetIdx : idx + 1;
+            if (d.si.isCondBranch())
+                bp_.updateGhrSpeculative(pred.taken);
+            branchPredOrder_.push_back(
+                {pc, prog_->pcOf(d.predNextIdx)});
+            taken_branch = pred.taken;
+        } else {
+            d.predNextIdx = idx + 1;
+        }
+
+        if (d.isLoad)
+            ++loadsInFlight_;
+        if (d.isStore)
+            ++storesInFlight_;
+
+        log_.record(now_, EventKind::Fetch, d.seq, pc);
+        fetchIdx_ = d.predNextIdx;
+        rob_.push_back(std::move(d));
+        if (taken_branch)
+            return; // redirect: resume at the target next cycle
+    }
+}
+
+void
+Pipeline::onMemReqComplete(const MemReq &req)
+{
+    if (req.kind == ReqKind::Load) {
+        DynInst *e = entry(req.seq);
+        if (e && !e->squashed && e->loadPhase == LoadPhase::WaitCache &&
+            e->pendingFills > 0) {
+            if (--e->pendingFills == 0) {
+                e->loadPhase = LoadPhase::Done;
+                e->loadDataValid = true;
+            }
+        }
+    }
+    defense_->onReqComplete(req);
+}
+
+RunResult
+Pipeline::run()
+{
+    assert(prog_ && "no program loaded");
+    reset();
+
+    RunResult result;
+    while (!halted_ && now_ < params_.maxCyclesPerRun) {
+        ++now_;
+        mem_.tick(now_);
+        computeSafety();
+        defense_->tick();
+        commitStage();
+        if (halted_)
+            break;
+        executeStage();
+        issueStage();
+        advanceMemOps();
+        fetchStage();
+    }
+
+    if (halted_) {
+        // The countermeasure's rollback is guaranteed to finish even when
+        // the test ends mid-queue (its security invariant); apply pending
+        // cleanups before any state snapshot.
+        mem_.flushCleanups();
+    }
+
+    result.halted = halted_;
+    result.cycles = now_;
+    result.committedInsts = committedInsts_;
+    result.squashes = squashes_;
+    result.hitCycleCap = !halted_;
+    return result;
+}
+
+} // namespace amulet::uarch

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Out-of-order speculative pipeline (the gem5-O3 substitute).
+ *
+ * A cycle-stepped core with: fetch along the predicted path (stalling on
+ * L1I misses and running ahead past the test's HALT), register renaming,
+ * dataflow issue, a load-store queue with store-to-load forwarding and
+ * memory-dependence speculation (Spectre-v4), branch-misprediction and
+ * memory-order squashes, and in-order commit. The memory side runs through
+ * MemSystem's in-order L1D controller queue with finite MSHRs.
+ *
+ * Execution is execute-at-issue: architectural values are computed from
+ * the dataflow graph while the memory system provides timing and the
+ * cache/TLB state that μarch traces snapshot. A Defense object is
+ * consulted at fixed hook points (see defense/defense.hh).
+ */
+
+#ifndef AMULET_UARCH_PIPELINE_HH
+#define AMULET_UARCH_PIPELINE_HH
+
+#include <array>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/event_log.hh"
+#include "common/types.hh"
+#include "isa/program.hh"
+#include "mem/memory_image.hh"
+#include "uarch/dyn_inst.hh"
+#include "uarch/mem_system.hh"
+#include "uarch/params.hh"
+#include "uarch/predictors.hh"
+
+namespace amulet::defense
+{
+class Defense;
+} // namespace amulet::defense
+
+namespace amulet::uarch
+{
+
+/** Outcome of one test-case run. */
+struct RunResult
+{
+    bool halted = false;        ///< HALT committed
+    Cycle cycles = 0;
+    std::uint64_t committedInsts = 0;
+    std::uint64_t squashes = 0;
+    bool hitCycleCap = false;
+};
+
+/** One dynamic memory access, in execution order (μarch trace format 3). */
+struct AccessRecord
+{
+    Addr pc;
+    Addr addr;
+    bool isStore;
+    SeqNum seq;
+    Cycle cycle;
+
+    bool
+    operator==(const AccessRecord &o) const
+    {
+        // Trace equality ignores seq/cycle: the observable is the ordered
+        // list of (pc, addr, kind) transactions.
+        return pc == o.pc && addr == o.addr && isStore == o.isStore;
+    }
+};
+
+/** One fetch-time branch prediction (μarch trace format 4). */
+struct BranchPredRecord
+{
+    Addr pc;
+    Addr predTargetPc;
+
+    bool operator==(const BranchPredRecord &) const = default;
+};
+
+/** The out-of-order core. */
+class Pipeline
+{
+  public:
+    Pipeline(const CoreParams &params, mem::MemoryImage &memory,
+             EventLog &log);
+    ~Pipeline();
+
+    /** Attach the countermeasure under test (must outlive the pipeline).
+     */
+    void setDefense(defense::Defense *defense);
+
+    /** Select the program to run (must outlive the run). */
+    void setProgram(const isa::FlatProgram *prog);
+
+    /** Initialize the committed architectural register/flag state. */
+    void setArchRegs(const std::array<RegVal, isa::kNumRegs> &regs,
+                     isa::Flags flags);
+
+    /** Run from instruction 0 until HALT commits (or the cycle cap). */
+    RunResult run();
+
+    /** @name State access */
+    /// @{
+    MemSystem &memSys() { return mem_; }
+    const MemSystem &memSys() const { return mem_; }
+    BranchPredictor &branchPredictor() { return bp_; }
+    MemDepPredictor &memDepPredictor() { return mdp_; }
+    const std::array<RegVal, isa::kNumRegs> &archRegs() const
+    {
+        return committedRegs_;
+    }
+    isa::Flags archFlags() const { return committedFlags_; }
+    const CoreParams &params() const { return params_; }
+    Cycle now() const { return now_; }
+    EventLog &log() { return log_; }
+    /// @}
+
+    /** @name Execution-order logs (alternative μarch trace formats) */
+    /// @{
+    const std::vector<AccessRecord> &accessOrder() const
+    {
+        return accessOrder_;
+    }
+    const std::vector<BranchPredRecord> &branchPredOrder() const
+    {
+        return branchPredOrder_;
+    }
+    /// @}
+
+    /** @name Defense support */
+    /// @{
+    /** In-flight instruction by sequence number (nullptr if retired,
+     *  squashed, or never existed). */
+    DynInst *entry(SeqNum seq);
+    /** The reorder buffer, oldest first. */
+    std::deque<DynInst> &rob() { return rob_; }
+    /** Is there an older in-flight load than @p seq marked unsafe-held?
+     *  (SpecLFB's isPrevNoUnsafe check.) */
+    bool olderUnsafeLoadExists(SeqNum seq) const;
+    /** Resolve the value of one renamed source (producer must be executed
+     *  or retired). */
+    std::uint64_t readSrcValue(const DynInst::SrcReg &src) const;
+    /// @}
+
+  private:
+    /** @name Per-cycle stages */
+    /// @{
+    void computeSafety();
+    void commitStage();
+    void executeStage();
+    void issueStage();
+    void advanceMemOps();
+    void fetchStage();
+    /// @}
+
+    /** @name Helpers */
+    /// @{
+    void reset();
+    DynInst makeDynInst(std::size_t idx);
+    isa::Flags readFlagsValue(SeqNum producer) const;
+    bool srcsReady(const DynInst &inst, bool address_only) const;
+    Addr computeEffAddr(const DynInst &inst) const;
+    void finalizeData(DynInst &inst);
+    void resolveBranch(DynInst &inst);
+    void squashAfter(SeqNum keep_up_to, std::size_t new_fetch_idx,
+                     std::uint32_t restore_ghr, EventKind reason,
+                     SeqNum trigger_seq);
+    void rebuildRenameTable();
+    void storeResolved(DynInst &store);
+    void tryStartLoadAccess(DynInst &inst);
+    void onMemReqComplete(const MemReq &req);
+    bool
+    rangesOverlap(Addr a, unsigned asz, Addr b, unsigned bsz) const
+    {
+        return a < b + bsz && b < a + asz;
+    }
+    /// @}
+
+    const CoreParams &params_;
+    mem::MemoryImage &memory_;
+    EventLog &log_;
+    MemSystem mem_;
+    BranchPredictor bp_;
+    MemDepPredictor mdp_;
+    defense::Defense *defense_ = nullptr;
+    std::unique_ptr<defense::Defense> defaultDefense_;
+
+    const isa::FlatProgram *prog_ = nullptr;
+
+    /** @name Run state */
+    /// @{
+    std::deque<DynInst> rob_;
+    SeqNum nextSeq_ = 1;
+    std::size_t fetchIdx_ = 0;
+    bool fetchStalledOnL1i_ = false;
+    std::array<SeqNum, isa::kNumRegs> renameReg_{};
+    SeqNum renameFlags_ = kNoSeq;
+    std::array<RegVal, isa::kNumRegs> committedRegs_{};
+    isa::Flags committedFlags_;
+    Cycle now_ = 0;
+    bool halted_ = false;
+    std::uint64_t committedInsts_ = 0;
+    std::uint64_t squashes_ = 0;
+    unsigned loadsInFlight_ = 0;
+    unsigned storesInFlight_ = 0;
+    /// @}
+
+    std::vector<AccessRecord> accessOrder_;
+    std::vector<BranchPredRecord> branchPredOrder_;
+};
+
+} // namespace amulet::uarch
+
+#endif // AMULET_UARCH_PIPELINE_HH

@@ -1,0 +1,149 @@
+#include "uarch/predictors.hh"
+
+#include "common/bitutil.hh"
+
+namespace amulet::uarch
+{
+
+BranchPredictor::BranchPredictor(const CoreParams &params)
+    : ghrMask_(static_cast<std::uint32_t>(lowMask(params.ghrBits))),
+      pht_(std::size_t{1} << params.phtBits, 1),
+      btb_(params.btbEntries)
+{
+}
+
+std::size_t
+BranchPredictor::phtIndex(Addr pc, std::uint32_t ghr) const
+{
+    return ((pc >> 2) ^ ghr) & (pht_.size() - 1);
+}
+
+std::size_t
+BranchPredictor::btbIndex(Addr pc) const
+{
+    return (pc >> 2) % btb_.size();
+}
+
+BranchPredictor::Prediction
+BranchPredictor::predict(Addr pc, bool is_conditional)
+{
+    Prediction p;
+    p.ghrBefore = ghr_;
+    const BtbEntry &entry = btb_[btbIndex(pc)];
+    p.btbHit = entry.valid && entry.tag == pc;
+    if (p.btbHit)
+        p.targetIdx = entry.targetIdx;
+    if (is_conditional) {
+        const bool dir = pht_[phtIndex(pc, ghr_)] >= 2;
+        // Predicting taken is only actionable with a known target.
+        p.taken = dir && p.btbHit;
+    } else {
+        p.taken = p.btbHit;
+    }
+    return p;
+}
+
+void
+BranchPredictor::updateGhrSpeculative(bool taken)
+{
+    ghr_ = ((ghr_ << 1) | (taken ? 1u : 0u)) & ghrMask_;
+}
+
+void
+BranchPredictor::train(Addr pc, bool taken, std::size_t target_idx,
+                       std::uint32_t ghr_at_fetch)
+{
+    std::uint8_t &ctr = pht_[phtIndex(pc, ghr_at_fetch)];
+    if (taken && ctr < 3)
+        ++ctr;
+    else if (!taken && ctr > 0)
+        --ctr;
+    if (taken) {
+        BtbEntry &entry = btb_[btbIndex(pc)];
+        entry.valid = true;
+        entry.tag = pc;
+        entry.targetIdx = target_idx;
+    }
+}
+
+void
+BranchPredictor::reset()
+{
+    ghr_ = 0;
+    std::fill(pht_.begin(), pht_.end(), 1);
+    std::fill(btb_.begin(), btb_.end(), BtbEntry{});
+}
+
+BranchPredictor::State
+BranchPredictor::save() const
+{
+    State s;
+    s.ghr = ghr_;
+    s.pht = pht_;
+    s.btbTags.reserve(btb_.size());
+    s.btbTargets.reserve(btb_.size());
+    for (const BtbEntry &e : btb_) {
+        s.btbTags.push_back(e.valid ? e.tag : 0);
+        s.btbTargets.push_back(e.valid ? e.targetIdx + 1 : 0);
+    }
+    return s;
+}
+
+void
+BranchPredictor::restore(const State &state)
+{
+    ghr_ = state.ghr & ghrMask_;
+    pht_ = state.pht;
+    for (std::size_t i = 0; i < btb_.size(); ++i) {
+        const bool valid = state.btbTargets[i] != 0;
+        btb_[i].valid = valid;
+        btb_[i].tag = state.btbTags[i];
+        btb_[i].targetIdx = valid ? state.btbTargets[i] - 1 : 0;
+    }
+}
+
+std::vector<std::uint64_t>
+BranchPredictor::traceWords() const
+{
+    std::vector<std::uint64_t> words;
+    words.push_back(ghr_);
+    for (std::uint8_t c : pht_)
+        words.push_back(c);
+    for (const BtbEntry &e : btb_) {
+        words.push_back(e.valid ? e.tag : 0);
+        words.push_back(e.valid ? e.targetIdx + 1 : 0);
+    }
+    return words;
+}
+
+MemDepPredictor::MemDepPredictor(const CoreParams &params)
+    : table_(params.mdpEntries, 0)
+{
+}
+
+std::size_t
+MemDepPredictor::indexOf(Addr pc) const
+{
+    return (pc >> 2) % table_.size();
+}
+
+bool
+MemDepPredictor::predictDependence(Addr load_pc) const
+{
+    return table_[indexOf(load_pc)] >= 2;
+}
+
+void
+MemDepPredictor::trainViolation(Addr load_pc)
+{
+    std::uint8_t &ctr = table_[indexOf(load_pc)];
+    ctr = static_cast<std::uint8_t>(std::min<unsigned>(ctr + 2, 3));
+}
+
+void
+MemDepPredictor::reset()
+{
+    std::fill(table_.begin(), table_.end(), 0);
+}
+
+} // namespace amulet::uarch

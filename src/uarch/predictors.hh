@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Branch-direction, branch-target, and memory-dependence predictors.
+ *
+ * Predictor state persists across test inputs in AMuLeT-Opt (§3.2), is
+ * part of the μarch context that violation validation swaps, and the
+ * branch-predictor snapshot is one of the alternative μarch trace formats
+ * evaluated in Table 5.
+ */
+
+#ifndef AMULET_UARCH_PREDICTORS_HH
+#define AMULET_UARCH_PREDICTORS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "uarch/params.hh"
+
+namespace amulet::uarch
+{
+
+/** Gshare direction predictor + direct-mapped BTB. */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const CoreParams &params);
+
+    /** Outcome of a fetch-time prediction. */
+    struct Prediction
+    {
+        bool taken = false;     ///< predicted direction
+        bool btbHit = false;    ///< target known?
+        std::size_t targetIdx = 0; ///< predicted target (valid if btbHit)
+        std::uint32_t ghrBefore = 0; ///< GHR checkpoint for recovery
+    };
+
+    /**
+     * Predict a branch at fetch.
+     * Conditional branches consult the PHT; a taken prediction is only
+     * actionable with a BTB target. Unconditional branches predict taken
+     * with the BTB target (fall-through on a BTB miss, i.e. a guaranteed
+     * misprediction on first encounter).
+     */
+    Prediction predict(Addr pc, bool is_conditional);
+
+    /** Shift a (speculative) outcome into the GHR at fetch. */
+    void updateGhrSpeculative(bool taken);
+
+    /** Restore the GHR after a squash. */
+    void restoreGhr(std::uint32_t ghr) { ghr_ = ghr & ghrMask_; }
+
+    /** Train PHT/BTB at commit. @p ghr_at_fetch indexes the PHT entry the
+     *  prediction actually used. */
+    void train(Addr pc, bool taken, std::size_t target_idx,
+               std::uint32_t ghr_at_fetch);
+
+    /** Reset to power-on state. */
+    void reset();
+
+    /** @name μarch context snapshot (validation + BP-state trace) */
+    /// @{
+    struct State
+    {
+        std::uint32_t ghr = 0;
+        std::vector<std::uint8_t> pht;
+        std::vector<std::uint64_t> btbTags;
+        std::vector<std::uint64_t> btbTargets;
+
+        bool operator==(const State &) const = default;
+    };
+    State save() const;
+    void restore(const State &state);
+    /** Flattened words for the BP-state μarch trace format. */
+    std::vector<std::uint64_t> traceWords() const;
+    /// @}
+
+    std::uint32_t ghr() const { return ghr_; }
+
+  private:
+    std::size_t phtIndex(Addr pc, std::uint32_t ghr) const;
+    std::size_t btbIndex(Addr pc) const;
+
+    std::uint32_t ghrMask_;
+    std::uint32_t ghr_ = 0;
+    std::vector<std::uint8_t> pht_; ///< 2-bit counters, init weakly-not-taken
+    struct BtbEntry
+    {
+        bool valid = false;
+        Addr tag = 0;
+        std::size_t targetIdx = 0;
+    };
+    std::vector<BtbEntry> btb_;
+};
+
+/**
+ * Memory-dependence predictor (store-set flavoured, collapsed to a
+ * per-load-PC saturating counter: predict that the load must wait for
+ * older unresolved stores once it has violated memory order before).
+ * Untrained loads speculate past unknown-address stores — the behaviour
+ * Spectre-v4 exploits.
+ */
+class MemDepPredictor
+{
+  public:
+    explicit MemDepPredictor(const CoreParams &params);
+
+    /** Should this load wait for older unresolved-address stores? */
+    bool predictDependence(Addr load_pc) const;
+
+    /** Train on a memory-order violation by this load. */
+    void trainViolation(Addr load_pc);
+
+    void reset();
+
+    /** @name μarch context snapshot */
+    /// @{
+    using State = std::vector<std::uint8_t>;
+    State save() const { return table_; }
+    void restore(const State &s) { table_ = s; }
+    /// @}
+
+  private:
+    std::size_t indexOf(Addr pc) const;
+    std::vector<std::uint8_t> table_;
+};
+
+} // namespace amulet::uarch
+
+#endif // AMULET_UARCH_PREDICTORS_HH

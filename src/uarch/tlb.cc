@@ -1,0 +1,69 @@
+#include "uarch/tlb.hh"
+
+#include <algorithm>
+
+namespace amulet::uarch
+{
+
+bool
+Tlb::present(Addr vpn) const
+{
+    for (const Slot &s : slots_) {
+        if (s.vpn == vpn)
+            return true;
+    }
+    return false;
+}
+
+void
+Tlb::touch(Addr vpn)
+{
+    for (Slot &s : slots_) {
+        if (s.vpn == vpn) {
+            s.lruStamp = ++stamp_;
+            return;
+        }
+    }
+}
+
+Addr
+Tlb::fill(Addr vpn)
+{
+    for (Slot &s : slots_) {
+        if (s.vpn == vpn) {
+            s.lruStamp = ++stamp_;
+            return kNoAddr;
+        }
+    }
+    if (slots_.size() < entries_) {
+        slots_.push_back({vpn, ++stamp_});
+        return kNoAddr;
+    }
+    auto victim = std::min_element(
+        slots_.begin(), slots_.end(),
+        [](const Slot &a, const Slot &b) { return a.lruStamp < b.lruStamp; });
+    const Addr evicted = victim->vpn;
+    victim->vpn = vpn;
+    victim->lruStamp = ++stamp_;
+    return evicted;
+}
+
+void
+Tlb::flush()
+{
+    slots_.clear();
+    stamp_ = 0;
+}
+
+std::vector<Addr>
+Tlb::snapshot() const
+{
+    std::vector<Addr> out;
+    out.reserve(slots_.size());
+    for (const Slot &s : slots_)
+        out.push_back(s.vpn);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace amulet::uarch

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fully-associative LRU D-TLB over virtual page numbers.
+ *
+ * Virtual addresses map to physical addresses identically in our SE-style
+ * guest, but the TLB still records which pages were translated — the TLB
+ * half of the default μarch trace, and the channel exploited by the STT
+ * tainted-store finding (KV3).
+ */
+
+#ifndef AMULET_UARCH_TLB_HH
+#define AMULET_UARCH_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/memory_image.hh"
+
+namespace amulet::uarch
+{
+
+/** Fully-associative translation lookaside buffer. */
+class Tlb
+{
+  public:
+    explicit Tlb(unsigned entries) : entries_(entries) {}
+
+    static Addr vpnOf(Addr addr) { return addr >> mem::kPageShift; }
+
+    /** Is a VPN cached? */
+    bool present(Addr vpn) const;
+
+    /** Refresh recency (no-op if absent). */
+    void touch(Addr vpn);
+
+    /** Install a VPN, evicting LRU if full.
+     *  @return evicted VPN or kNoAddr. */
+    Addr fill(Addr vpn);
+
+    /** Drop all entries. */
+    void flush();
+
+    /** Sorted list of cached VPNs (μarch trace). */
+    std::vector<Addr> snapshot() const;
+
+    unsigned capacity() const { return entries_; }
+    std::size_t size() const { return slots_.size(); }
+
+  private:
+    struct Slot
+    {
+        Addr vpn;
+        std::uint64_t lruStamp;
+    };
+
+    unsigned entries_;
+    std::uint64_t stamp_ = 0;
+    std::vector<Slot> slots_;
+};
+
+} // namespace amulet::uarch
+
+#endif // AMULET_UARCH_TLB_HH

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Executor/harness tests: run determinism, context snapshot/replay,
+ * Naive-vs-Opt restart behaviour, priming modes, trace-format extraction,
+ * and the generated-program disassembly round-trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/generator.hh"
+#include "core/input_gen.hh"
+#include "executor/sim_harness.hh"
+#include "isa/assembler.hh"
+#include "isa/disasm.hh"
+
+namespace
+{
+
+using namespace amulet;
+using executor::HarnessConfig;
+using executor::PrimeMode;
+using executor::SimHarness;
+using executor::TraceFormat;
+
+HarnessConfig
+fastConfig()
+{
+    HarnessConfig cfg;
+    cfg.bootInsts = 1000;
+    return cfg;
+}
+
+struct Fixture
+{
+    Fixture()
+        : rng(5),
+          gcfg([] {
+              core::GeneratorConfig g;
+              g.map = mem::AddressMap{};
+              return g;
+          }()),
+          gen(gcfg, Rng(5))
+    {
+        prog = gen.generate();
+        fp = std::make_unique<isa::FlatProgram>(prog, gcfg.map.codeBase);
+        core::InputGenConfig icfg;
+        icfg.map = gcfg.map;
+        core::InputGenerator igen(icfg, Rng(6));
+        input = igen.generate(0);
+    }
+
+    Rng rng;
+    core::GeneratorConfig gcfg;
+    core::ProgramGenerator gen;
+    isa::Program prog;
+    std::unique_ptr<isa::FlatProgram> fp;
+    arch::Input input;
+};
+
+TEST(Harness, RunIsDeterministicUnderSavedContext)
+{
+    Fixture f;
+    SimHarness harness(fastConfig());
+    harness.loadProgram(f.fp.get());
+    const auto ctx = harness.saveContext();
+    const auto t1 = harness.runInput(f.input).trace;
+    harness.restoreContext(ctx);
+    const auto t2 = harness.runInput(f.input).trace;
+    EXPECT_EQ(t1, t2);
+}
+
+TEST(Harness, NaiveRestartsPerInputOptDoesNot)
+{
+    Fixture f;
+    auto cfg = fastConfig();
+    cfg.naiveMode = true;
+    SimHarness naive(cfg);
+    naive.loadProgram(f.fp.get());
+    naive.runInput(f.input);
+    naive.runInput(f.input);
+    naive.runInput(f.input);
+    EXPECT_EQ(naive.startCount(), 3u);
+
+    SimHarness opt(fastConfig());
+    opt.loadProgram(f.fp.get());
+    opt.runInput(f.input);
+    opt.runInput(f.input);
+    opt.runInput(f.input);
+    EXPECT_EQ(opt.startCount(), 1u);
+}
+
+TEST(Harness, NaiveRunsAreIdenticalAcrossRestarts)
+{
+    Fixture f;
+    auto cfg = fastConfig();
+    cfg.naiveMode = true;
+    SimHarness harness(cfg);
+    harness.loadProgram(f.fp.get());
+    const auto t1 = harness.runInput(f.input).trace;
+    const auto t2 = harness.runInput(f.input).trace;
+    EXPECT_EQ(t1, t2) << "cold restarts must be reproducible";
+}
+
+TEST(Harness, ConflictFillPrimesEverySet)
+{
+    Fixture f;
+    auto cfg = fastConfig();
+    cfg.prime = PrimeMode::ConflictFill;
+    SimHarness harness(cfg);
+    harness.loadProgram(f.fp.get());
+    harness.runInput(f.input);
+    // After a run, lines outside the sandbox (prime region) dominate the
+    // L1D; every set was filled before the test touched anything.
+    const auto &l1d = harness.pipeline().memSys().l1d();
+    std::size_t prime_lines = 0;
+    for (Addr line : l1d.snapshot()) {
+        if (line >= cfg.map.primeBase)
+            ++prime_lines;
+    }
+    EXPECT_GT(prime_lines,
+              static_cast<std::size_t>(l1d.numSets() * l1d.numWays() /
+                                       2));
+}
+
+TEST(Harness, InvalidatePrimeStartsClean)
+{
+    Fixture f;
+    auto cfg = fastConfig();
+    cfg.prime = PrimeMode::Invalidate;
+    SimHarness harness(cfg);
+    harness.loadProgram(f.fp.get());
+    harness.runInput(f.input);
+    const auto &l1d = harness.pipeline().memSys().l1d();
+    for (Addr line : l1d.snapshot())
+        EXPECT_LT(line, cfg.map.primeBase) << "no prime lines expected";
+}
+
+TEST(Harness, AllTraceFormatsExtractAndAreStable)
+{
+    Fixture f;
+    SimHarness harness(fastConfig());
+    harness.loadProgram(f.fp.get());
+    const auto ctx = harness.saveContext();
+    harness.runInput(f.input);
+    std::vector<executor::UTrace> first;
+    for (auto fmt : executor::allTraceFormats())
+        first.push_back(harness.extractExtra(fmt));
+    harness.restoreContext(ctx);
+    harness.runInput(f.input);
+    std::size_t i = 0;
+    for (auto fmt : executor::allTraceFormats()) {
+        const auto again = harness.extractExtra(fmt);
+        EXPECT_EQ(again, first[i++]) << executor::traceFormatName(fmt);
+        EXPECT_FALSE(again.words.empty())
+            << executor::traceFormatName(fmt);
+    }
+}
+
+TEST(Harness, TimeBreakdownAccumulates)
+{
+    Fixture f;
+    SimHarness harness(fastConfig());
+    harness.loadProgram(f.fp.get());
+    harness.runInput(f.input);
+    const auto &t = harness.times();
+    EXPECT_GT(t.startupSec, 0.0);
+    EXPECT_GT(t.simulateSec, 0.0);
+    EXPECT_GE(t.traceExtractSec, 0.0);
+}
+
+TEST(GeneratedPrograms, DisassemblyRoundTripsThroughAssembler)
+{
+    Rng rng(31);
+    core::GeneratorConfig gcfg;
+    gcfg.map = mem::AddressMap{};
+    for (int i = 0; i < 25; ++i) {
+        core::ProgramGenerator gen(gcfg, rng.split());
+        const isa::Program prog = gen.generate();
+        const std::string text = isa::formatProgram(prog);
+        const isa::Program back = isa::assemble(text);
+        ASSERT_EQ(back.blocks.size(), prog.blocks.size()) << text;
+        for (std::size_t b = 0; b < prog.blocks.size(); ++b)
+            EXPECT_EQ(back.blocks[b].body, prog.blocks[b].body)
+                << "block " << b << " of\n" << text;
+    }
+}
+
+TEST(GeneratedPrograms, SimulateDeterministicallyAcrossHarnesses)
+{
+    Fixture f;
+    SimHarness h1(fastConfig());
+    SimHarness h2(fastConfig());
+    h1.loadProgram(f.fp.get());
+    h2.loadProgram(f.fp.get());
+    const auto t1 = h1.runInput(f.input).trace;
+    const auto t2 = h2.runInput(f.input).trace;
+    EXPECT_EQ(t1, t2);
+}
+
+} // namespace

@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Unit tests for the μarch building blocks: caches (LRU, eviction,
+ * noClean metadata), TLB, branch/memory-dependence predictors (including
+ * context snapshot round-trips), side buffers, and the memory system's
+ * MSHR/queue behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/event_log.hh"
+#include "uarch/cache.hh"
+#include "uarch/mem_system.hh"
+#include "uarch/predictors.hh"
+#include "uarch/tlb.hh"
+
+namespace
+{
+
+using namespace amulet;
+using namespace amulet::uarch;
+
+TEST(Cache, InstallHitAndLru)
+{
+    CacheParams p{1024, 2, 64}; // 8 sets, 2 ways
+    Cache cache(p);
+    EXPECT_EQ(cache.numSets(), 8u);
+
+    EXPECT_EQ(cache.install(0x0000), kNoAddr);
+    EXPECT_EQ(cache.install(0x2000), kNoAddr); // same set, way 2
+    EXPECT_TRUE(cache.setFull(0x0000));
+    EXPECT_EQ(cache.victimOf(0x0000), 0x0000u); // LRU = first installed
+
+    cache.touch(0x0000); // refresh; victim becomes 0x2000
+    EXPECT_EQ(cache.victimOf(0x0000), 0x2000u);
+    EXPECT_EQ(cache.install(0x4000), 0x2000u); // evicts LRU
+    EXPECT_TRUE(cache.present(0x0000));
+    EXPECT_FALSE(cache.present(0x2000));
+}
+
+TEST(Cache, ReinstallRefreshesWithoutEviction)
+{
+    CacheParams p{1024, 2, 64};
+    Cache cache(p);
+    cache.install(0x0000);
+    cache.install(0x2000);
+    EXPECT_EQ(cache.install(0x0000), kNoAddr); // already present
+    EXPECT_EQ(cache.victimOf(0x0000), 0x2000u);
+}
+
+TEST(Cache, NonSpecMetadata)
+{
+    CacheParams p{1024, 2, 64};
+    Cache cache(p);
+    cache.install(0x0000, false);
+    EXPECT_FALSE(cache.nonSpecTouched(0x0000));
+    cache.markNonSpecTouched(0x0000);
+    EXPECT_TRUE(cache.nonSpecTouched(0x0000));
+    // Reinstall with mark keeps it; eviction clears it.
+    bool victim_non_spec = false;
+    cache.install(0x2000, false);
+    cache.touch(0x2000);
+    cache.touch(0x2000);
+    cache.install(0x0000); // refresh
+    cache.install(0x4000, false, &victim_non_spec); // evicts 0x2000
+    EXPECT_FALSE(victim_non_spec);
+}
+
+TEST(Cache, EvictedNonSpecReported)
+{
+    CacheParams p{128, 1, 64}; // direct-mapped, 2 sets
+    Cache cache(p);
+    cache.install(0x0000, true);
+    bool victim_non_spec = false;
+    const Addr evicted = cache.install(0x0080, false, &victim_non_spec);
+    EXPECT_EQ(evicted, 0x0000u);
+    EXPECT_TRUE(victim_non_spec);
+}
+
+TEST(Cache, SnapshotSortedAndComplete)
+{
+    CacheParams p{1024, 2, 64};
+    Cache cache(p);
+    cache.install(0x1000);
+    cache.install(0x0040);
+    cache.install(0x3fc0);
+    const auto snap = cache.snapshot();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(snap.begin(), snap.end()));
+    cache.invalidateAll();
+    EXPECT_TRUE(cache.snapshot().empty());
+}
+
+TEST(Tlb, FillEvictLru)
+{
+    Tlb tlb(2);
+    EXPECT_EQ(tlb.fill(1), kNoAddr);
+    EXPECT_EQ(tlb.fill(2), kNoAddr);
+    tlb.touch(1);
+    EXPECT_EQ(tlb.fill(3), 2u); // LRU victim is VPN 2
+    EXPECT_TRUE(tlb.present(1));
+    EXPECT_FALSE(tlb.present(2));
+    const auto snap = tlb.snapshot();
+    EXPECT_EQ(snap, (std::vector<Addr>{1, 3}));
+}
+
+TEST(BranchPredictor, ColdPredictsFallThrough)
+{
+    CoreParams params;
+    BranchPredictor bp(params);
+    const auto pred = bp.predict(0x400000, true);
+    EXPECT_FALSE(pred.taken); // cold BTB: not actionable
+    EXPECT_FALSE(pred.btbHit);
+}
+
+TEST(BranchPredictor, TrainsTowardsTaken)
+{
+    CoreParams params;
+    BranchPredictor bp(params);
+    for (int i = 0; i < 4; ++i)
+        bp.train(0x400000, true, 42, bp.ghr());
+    const auto pred = bp.predict(0x400000, true);
+    EXPECT_TRUE(pred.taken);
+    EXPECT_TRUE(pred.btbHit);
+    EXPECT_EQ(pred.targetIdx, 42u);
+}
+
+TEST(BranchPredictor, SnapshotRoundTrip)
+{
+    CoreParams params;
+    BranchPredictor bp(params);
+    for (int i = 0; i < 10; ++i) {
+        bp.train(0x400000 + 4 * i, i % 2 == 0, i, bp.ghr());
+        bp.updateGhrSpeculative(i % 3 == 0);
+    }
+    const auto state = bp.save();
+    const auto words = bp.traceWords();
+    bp.reset();
+    EXPECT_NE(bp.traceWords(), words);
+    bp.restore(state);
+    EXPECT_EQ(bp.traceWords(), words);
+    EXPECT_EQ(bp.save(), state);
+}
+
+TEST(BranchPredictor, GhrRestoreAfterSquash)
+{
+    CoreParams params;
+    BranchPredictor bp(params);
+    const std::uint32_t before = bp.ghr();
+    bp.updateGhrSpeculative(true);
+    bp.updateGhrSpeculative(false);
+    EXPECT_NE(bp.ghr(), before);
+    bp.restoreGhr(before);
+    EXPECT_EQ(bp.ghr(), before);
+}
+
+TEST(MemDepPredictor, ColdPredictsNoDependence)
+{
+    CoreParams params;
+    MemDepPredictor mdp(params);
+    EXPECT_FALSE(mdp.predictDependence(0x400010));
+    mdp.trainViolation(0x400010);
+    EXPECT_TRUE(mdp.predictDependence(0x400010));
+    const auto state = mdp.save();
+    mdp.reset();
+    EXPECT_FALSE(mdp.predictDependence(0x400010));
+    mdp.restore(state);
+    EXPECT_TRUE(mdp.predictDependence(0x400010));
+}
+
+TEST(SideBuffer, FifoCapacity)
+{
+    SideBuffer buf(2);
+    EXPECT_EQ(buf.insert(0x100), kNoAddr);
+    EXPECT_EQ(buf.insert(0x200), kNoAddr);
+    EXPECT_EQ(buf.insert(0x300), 0x100u); // FIFO eviction
+    EXPECT_FALSE(buf.contains(0x100));
+    EXPECT_TRUE(buf.contains(0x200));
+    buf.erase(0x200);
+    EXPECT_FALSE(buf.contains(0x200));
+    EXPECT_EQ(buf.insert(0x300), kNoAddr); // duplicate: no-op
+}
+
+class MemSystemTest : public ::testing::Test
+{
+  protected:
+    MemSystemTest() : mem_(params_, log_)
+    {
+        mem_.setCompletionHandler(
+            [this](const MemReq &req) { completed_.push_back(req); });
+    }
+
+    void
+    tickUntil(Cycle cycles)
+    {
+        for (Cycle c = now_ + 1; c <= now_ + cycles; ++c)
+            mem_.tick(c);
+        now_ += cycles;
+    }
+
+    CoreParams params_;
+    EventLog log_;
+    MemSystem mem_;
+    std::vector<MemReq> completed_;
+    Cycle now_ = 0;
+};
+
+TEST_F(MemSystemTest, HitCompletesAtHitLatency)
+{
+    mem_.l1d().install(0x1000);
+    MemReq req;
+    req.lineAddr = 0x1000;
+    mem_.enqueueL1D(req);
+    tickUntil(1 + params_.l1HitLatency);
+    ASSERT_EQ(completed_.size(), 1u);
+    EXPECT_TRUE(completed_[0].wasHit);
+}
+
+TEST_F(MemSystemTest, MissFillsThroughMemoryAndInstalls)
+{
+    MemReq req;
+    req.lineAddr = 0x1000;
+    mem_.enqueueL1D(req);
+    tickUntil(2);
+    EXPECT_TRUE(completed_.empty());
+    EXPECT_EQ(mem_.l1dMshrsInUse(), 1u);
+    tickUntil(params_.memLatency + params_.l2ServiceInterval + 2);
+    ASSERT_EQ(completed_.size(), 1u);
+    EXPECT_FALSE(completed_[0].wasHit);
+    EXPECT_TRUE(mem_.l1d().present(0x1000));
+    EXPECT_TRUE(mem_.l2().present(0x1000));
+    EXPECT_EQ(mem_.l1dMshrsInUse(), 0u);
+}
+
+TEST_F(MemSystemTest, CoalescingSharesOneMshr)
+{
+    MemReq a, b;
+    a.lineAddr = b.lineAddr = 0x1000;
+    a.seq = 1;
+    b.seq = 2;
+    mem_.enqueueL1D(a);
+    mem_.enqueueL1D(b);
+    tickUntil(3);
+    EXPECT_EQ(mem_.l1dMshrsInUse(), 1u);
+    tickUntil(params_.memLatency + 4);
+    EXPECT_EQ(completed_.size(), 2u);
+}
+
+TEST_F(MemSystemTest, MshrExhaustionBlocksQueueHead)
+{
+    CoreParams small = params_;
+    small.l1dMshrs = 1;
+    EventLog log;
+    MemSystem mem(small, log);
+    std::vector<MemReq> done;
+    mem.setCompletionHandler(
+        [&done](const MemReq &req) { done.push_back(req); });
+
+    MemReq a, b, hit;
+    a.lineAddr = 0x1000;
+    b.lineAddr = 0x2000;
+    hit.lineAddr = 0x3000;
+    mem.l1d().install(0x3000); // would hit instantly...
+    mem.enqueueL1D(a);
+    mem.enqueueL1D(b);
+    mem.enqueueL1D(hit); // ...but is stuck behind b (head-of-line)
+    for (Cycle c = 1; c <= 10; ++c)
+        mem.tick(c);
+    EXPECT_TRUE(done.empty());
+    EXPECT_EQ(mem.l1dMshrsInUse(), 1u); // b is stalled at the head
+    for (Cycle c = 11; c <= 2 * small.memLatency + 20; ++c)
+        mem.tick(c);
+    EXPECT_EQ(done.size(), 3u);
+}
+
+TEST_F(MemSystemTest, SideBufferHitServedWhenFlagged)
+{
+    SideBuffer buf(4);
+    buf.insert(0x1000);
+    mem_.setSideBuffer(&buf);
+    MemReq req;
+    req.lineAddr = 0x1000;
+    req.probeSideBuffer = true;
+    mem_.enqueueL1D(req);
+    tickUntil(1 + params_.l1HitLatency);
+    ASSERT_EQ(completed_.size(), 1u);
+    EXPECT_TRUE(completed_[0].wasHit);
+    EXPECT_TRUE(completed_[0].sideBufferHit);
+    EXPECT_FALSE(mem_.l1d().present(0x1000)); // not installed
+}
+
+TEST_F(MemSystemTest, InvisibleHitDoesNotRefreshLru)
+{
+    CacheParams p{128, 2, 64}; // 1 set, 2 ways
+    CoreParams small = params_;
+    small.l1d = p;
+    EventLog log;
+    MemSystem mem(small, log);
+    mem.l1d().install(0x000);
+    mem.l1d().install(0x040);
+    // Invisible hit on the LRU line must not promote it.
+    MemReq req;
+    req.lineAddr = 0x000;
+    req.invisibleHit = true;
+    mem.enqueueL1D(req);
+    for (Cycle c = 1; c <= 5; ++c)
+        mem.tick(c);
+    EXPECT_EQ(mem.l1d().victimOf(0x080), 0x000u);
+}
+
+TEST_F(MemSystemTest, BugSpecEvictEvictsOnFullSet)
+{
+    CacheParams p{128, 1, 64}; // direct mapped, 2 sets
+    CoreParams small = params_;
+    small.l1d = p;
+    EventLog log;
+    log.setEnabled(true);
+    MemSystem mem(small, log);
+    mem.l1d().install(0x000);
+    MemReq req;
+    req.lineAddr = 0x080; // same set, different tag
+    req.bugSpecEvict = true;
+    req.dest = FillDest::SideBuffer;
+    mem.enqueueL1D(req);
+    for (Cycle c = 1; c <= 3; ++c)
+        mem.tick(c);
+    EXPECT_FALSE(mem.l1d().present(0x000)) << "UV1 replacement";
+    EXPECT_TRUE(log.has(EventKind::SpecEviction));
+}
+
+TEST_F(MemSystemTest, DtlbAccessFillsAndReportsWalk)
+{
+    const unsigned lat1 = mem_.dtlbAccess(0x800123, 8, 1, 0x400000);
+    EXPECT_EQ(lat1, params_.tlbWalkLatency);
+    const unsigned lat2 = mem_.dtlbAccess(0x800456, 4, 2, 0x400004);
+    EXPECT_EQ(lat2, 1u); // same page now cached
+    // Page-crossing access fills both pages.
+    const unsigned lat3 = mem_.dtlbAccess(0x801ffc, 8, 3, 0x400008);
+    EXPECT_EQ(lat3, params_.tlbWalkLatency);
+    EXPECT_TRUE(mem_.dtlb().present(0x802));
+}
+
+TEST_F(MemSystemTest, FlushCleanupsAppliesQueuedRollbacks)
+{
+    MemReq cleanup;
+    cleanup.kind = ReqKind::Cleanup;
+    cleanup.cleanupInvalidate = 0x1000;
+    mem_.enqueueL1D(cleanup);
+    MemReq load;
+    load.lineAddr = 0x2000;
+    mem_.enqueueL1D(load);
+    mem_.flushCleanups();
+    ASSERT_EQ(completed_.size(), 1u);
+    EXPECT_EQ(completed_[0].kind, ReqKind::Cleanup);
+}
+
+} // namespace
