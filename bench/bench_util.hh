@@ -16,6 +16,7 @@
 #include <string>
 
 #include "core/campaign.hh"
+#include "runtime/matrix.hh"
 
 namespace bench_util
 {
@@ -28,6 +29,20 @@ scale()
 {
     const char *s = std::getenv("AMULET_BENCH_SCALE");
     return s ? std::atof(s) : 1.0;
+}
+
+/**
+ * Campaigns to run concurrently (AMULET_BENCH_JOBS; 0 = all cores).
+ * Campaign *results* are jobs-invariant (see src/runtime/), so the
+ * printed counts are identical at any setting; the default stays serial
+ * because the tables also report wall-clock columns, which concurrent
+ * campaigns sharing cores would distort.
+ */
+inline unsigned
+matrixJobs()
+{
+    const char *s = std::getenv("AMULET_BENCH_JOBS");
+    return s ? static_cast<unsigned>(std::atoi(s)) : 1;
 }
 
 inline unsigned

@@ -27,6 +27,9 @@ main()
     Cell cells[2][2]; // [contract][mode]
     const char *contracts[2] = {"CT-SEQ", "CT-COND"};
 
+    // The 2x2 matrix runs as one batch of campaigns; per-campaign
+    // results are identical at any concurrency.
+    runtime::MatrixRunner matrix(matrixJobs());
     for (int c = 0; c < 2; ++c) {
         for (int mode = 0; mode < 2; ++mode) {
             const bool naive = mode == 0;
@@ -37,8 +40,15 @@ main()
             // bench terminates quickly, and report per-test metrics.
             cfg.numPrograms = scaled(naive ? 12 : 60);
             cfg.collectSignatures = false;
-            core::Campaign campaign(cfg);
-            const auto stats = campaign.run();
+            matrix.add(std::string(contracts[c]) +
+                           (naive ? "/naive" : "/opt"),
+                       cfg);
+        }
+    }
+    const auto results = matrix.runAll();
+    for (int c = 0; c < 2; ++c) {
+        for (int mode = 0; mode < 2; ++mode) {
+            const auto &stats = results[c * 2 + mode].stats;
             // Normalize to seconds per 1000 test cases (the two columns
             // run different program counts).
             cells[c][mode].minutes =

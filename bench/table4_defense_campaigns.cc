@@ -24,12 +24,19 @@ main()
     std::printf("%-12s %-9s %-9s %-12s %-8s %-12s %-10s\n", "", "", "",
                 "(sec)", "viol.", "(tests/s)", "(sec)");
 
+    // All five defense campaigns form one scheduling matrix; set
+    // AMULET_BENCH_JOBS to run them concurrently (identical counts,
+    // shorter wall clock).
+    runtime::MatrixRunner matrix(matrixJobs());
     for (auto kind : defense::allDefenseKinds()) {
         core::CampaignConfig cfg = campaignFor(kind);
         cfg.numPrograms = scaled(kind == defense::DefenseKind::Stt ? 80
                                                                    : 60);
-        core::Campaign campaign(cfg);
-        const auto stats = campaign.run();
+        matrix.add(defense::defenseKindName(kind), cfg);
+    }
+
+    for (const auto &result : matrix.runAll()) {
+        const auto &stats = result.stats;
 
         // Average detection time over confirmed violations.
         double avg_detect = -1;
@@ -41,8 +48,8 @@ main()
         }
 
         std::printf("%-12s %-9s %-9s %-12.2f %-8zu %-12.0f %-10.1f\n",
-                    defense::defenseKindName(kind),
-                    cfg.contract.name.c_str(),
+                    result.label.c_str(),
+                    result.config.contract.name.c_str(),
                     stats.detected() ? "YES" : "no", avg_detect,
                     stats.uniqueViolations(), stats.throughput(),
                     stats.wallSeconds);

@@ -37,6 +37,7 @@ usage(const char *argv0)
         "  --siblings N      siblings per base input (default 4)\n"
         "  --pages N         sandbox pages (default 1; STT uses 128)\n"
         "  --seed N          RNG seed (default 1)\n"
+        "  --jobs N          worker threads (default 1; 0 = all cores)\n"
         "  --ways N          L1D ways (amplification)\n"
         "  --mshrs N         L1D MSHRs (amplification)\n"
         "  --patched         apply all published fixes to the defense\n"
@@ -102,6 +103,13 @@ main(int argc, char **argv)
                 static_cast<unsigned>(atoi(next()));
         } else if (arg == "--seed") {
             cfg.seed = static_cast<std::uint64_t>(atoll(next()));
+        } else if (arg == "--jobs") {
+            const int jobs = atoi(next());
+            if (jobs < 0) {
+                std::fprintf(stderr, "--jobs must be >= 0\n");
+                return 2;
+            }
+            cfg.jobs = static_cast<unsigned>(jobs);
         } else if (arg == "--ways") {
             cfg.harness.core.l1d.ways = static_cast<unsigned>(atoi(next()));
         } else if (arg == "--mshrs") {
@@ -134,13 +142,13 @@ main(int argc, char **argv)
     cfg.inputs.map = cfg.harness.map;
 
     std::printf("campaign: defense=%s%s contract=%s trace=%s programs=%u "
-                "inputs=%u x %u pages=%u seed=%llu%s\n\n",
+                "inputs=%u x %u pages=%u seed=%llu jobs=%u%s\n\n",
                 defense::defenseKindName(kind), patched ? " (patched)" : "",
                 cfg.contract.name.c_str(),
                 executor::traceFormatName(cfg.harness.traceFormat),
                 cfg.numPrograms, cfg.baseInputsPerProgram,
                 1 + cfg.siblingsPerBase, cfg.harness.map.sandboxPages,
-                static_cast<unsigned long long>(cfg.seed),
+                static_cast<unsigned long long>(cfg.seed), cfg.jobs,
                 cfg.harness.naiveMode ? " NAIVE" : "");
 
     core::Campaign campaign(cfg);

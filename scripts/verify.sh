@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 verification entry point: configure, build, run the test suite.
+# Builders and CI share this one script; it exits nonzero on any failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${VERIFY_JOBS:-$(nproc)}"
+
+cmake -B build -S .
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure --no-tests=error -j "${JOBS}"

@@ -47,12 +47,14 @@ class SampleStats
                        : *std::max_element(samples_.begin(), samples_.end());
     }
 
-    /** p in [0,1]; nearest-rank percentile. */
+    /** Nearest-rank percentile; p is clamped into [0,1] (a negative or
+     *  >1 p would otherwise index out of bounds). */
     double
     percentile(double p) const
     {
         if (empty())
             return 0.0;
+        p = std::clamp(p, 0.0, 1.0);
         std::vector<double> sorted = samples_;
         std::sort(sorted.begin(), sorted.end());
         const auto rank = static_cast<std::size_t>(p * (sorted.size() - 1));

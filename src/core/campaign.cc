@@ -1,28 +1,11 @@
 #include "core/campaign.hh"
 
-#include <chrono>
 #include <sstream>
 
-#include "contracts/leakage_model.hh"
-#include "core/analyzer.hh"
-#include "core/signature.hh"
-#include "isa/disasm.hh"
+#include "runtime/scheduler.hh"
 
 namespace amulet::core
 {
-
-namespace
-{
-
-using Clock = std::chrono::steady_clock;
-
-double
-secondsSince(Clock::time_point t0)
-{
-    return std::chrono::duration<double>(Clock::now() - t0).count();
-}
-
-} // namespace
 
 std::string
 ViolationRecord::summary() const
@@ -47,7 +30,10 @@ CampaignStats::report() const
        << "confirmed:           " << confirmedViolations << "\n"
        << "unique violations:   " << uniqueViolations() << "\n"
        << "wall seconds:        " << wallSeconds << "\n"
-       << "throughput:          " << throughput() << " tests/s\n";
+       << "jobs (shards):       " << jobs << "\n"
+       << "throughput:          " << throughput() << " tests/s\n"
+       << "per-shard rate:      " << perShardThroughput()
+       << " tests/s\n";
     if (firstDetectSeconds >= 0)
         os << "first detection:     " << firstDetectSeconds << " s\n";
     for (const auto &[name, count] : signatureCounts)
@@ -60,258 +46,10 @@ Campaign::Campaign(CampaignConfig config) : cfg_(std::move(config)) {}
 CampaignStats
 Campaign::run()
 {
-    const auto t0 = Clock::now();
-    CampaignStats stats;
-
-    Rng master(cfg_.seed);
-    Rng gen_rng = master.split();
-    Rng input_rng = master.split();
-    Rng mutate_rng = master.split();
-
-    executor::SimHarness harness(cfg_.harness);
-    contracts::LeakageModel model(cfg_.contract);
-    InputGenerator input_gen(cfg_.inputs, input_rng);
-
-    const auto all_formats = executor::allTraceFormats();
-
-    for (unsigned p = 0; p < cfg_.numPrograms; ++p) {
-        // --- Test generation -----------------------------------------
-        auto t_gen = Clock::now();
-        ProgramGenerator generator(cfg_.gen, gen_rng.split());
-        const isa::Program prog = generator.generate();
-        const isa::FlatProgram fp(prog, cfg_.harness.map.codeBase);
-        stats.times.testGenSec += secondsSince(t_gen);
-
-        // --- Inputs + contract traces --------------------------------
-        auto t_ct = Clock::now();
-        std::vector<arch::Input> inputs;
-        std::vector<contracts::CTrace> ctraces;
-        std::uint64_t next_id = p * 10000;
-        for (unsigned b = 0; b < cfg_.baseInputsPerProgram; ++b) {
-            arch::Input base = input_gen.generate(next_id++);
-            const contracts::CTrace base_ct =
-                model.collect(fp, base, cfg_.harness.map);
-            const auto read_offsets =
-                model.archReadOffsets(fp, base, cfg_.harness.map);
-
-            // Contract-dead registers: registers whose value does not
-            // influence the contract trace. Siblings may mutate them
-            // (that is how register-secret leaks such as SpecLFB UV6
-            // become reachable) — unless the contract exposes initial
-            // register values (ARCH-SEQ), in which case inputs of one
-            // class keep identical registers, as in the paper.
-            std::vector<unsigned> dead_regs;
-            if (!cfg_.contract.exposeInitialRegs &&
-                cfg_.regMutationPct > 0) {
-                for (unsigned r = 0; r < isa::kNumRegs; ++r) {
-                    if (r == isa::regIndex(isa::kSandboxBaseReg) ||
-                        r == isa::regIndex(isa::Reg::Rsp)) {
-                        continue;
-                    }
-                    arch::Input probe = base;
-                    probe.regs[r] ^= 0x5a5a5a5a5a5aULL;
-                    if (model.collect(fp, probe, cfg_.harness.map) ==
-                        base_ct) {
-                        dead_regs.push_back(r);
-                    }
-                }
-            }
-
-            inputs.push_back(base);
-            ctraces.push_back(base_ct);
-            for (unsigned s = 0; s < cfg_.siblingsPerBase; ++s) {
-                arch::Input sib =
-                    input_gen.sibling(base, read_offsets, next_id++);
-                if (!dead_regs.empty() &&
-                    mutate_rng.chance(cfg_.regMutationPct, 100)) {
-                    arch::Input mutated = sib;
-                    for (unsigned r : dead_regs) {
-                        if (mutate_rng.chance(1, 2))
-                            mutated.regs[r] = mutate_rng.next();
-                    }
-                    // Joint mutation can still interact (e.g. two dead
-                    // registers combining into a live value); keep the
-                    // mutation only if the model confirms equivalence.
-                    if (model.collect(fp, mutated, cfg_.harness.map) ==
-                        base_ct) {
-                        sib = std::move(mutated);
-                    }
-                }
-                const contracts::CTrace sib_ct =
-                    model.collect(fp, sib, cfg_.harness.map);
-                inputs.push_back(std::move(sib));
-                ctraces.push_back(sib_ct);
-            }
-        }
-        stats.times.ctraceSec += secondsSince(t_ct);
-
-        // --- Execute on the simulator --------------------------------
-        harness.loadProgram(&fp);
-        std::vector<executor::UTrace> traces;
-        std::vector<executor::UarchContext> contexts;
-        std::vector<std::vector<executor::UTrace>> extra_traces;
-        bool run_error = false;
-        for (const arch::Input &input : inputs) {
-            contexts.push_back(harness.saveContext());
-            auto out = harness.runInput(input);
-            if (out.run.hitCycleCap) {
-                run_error = true;
-                break;
-            }
-            traces.push_back(std::move(out.trace));
-            if (cfg_.collectAllFormats) {
-                std::vector<executor::UTrace> extras;
-                for (auto fmt : all_formats)
-                    extras.push_back(harness.extractExtra(fmt));
-                extra_traces.push_back(std::move(extras));
-            }
-        }
-        if (run_error)
-            continue; // pathological program; skip (counted nowhere)
-        stats.testCases += inputs.size();
-        ++stats.programs;
-
-        // --- Relational analysis -------------------------------------
-        const EquivalenceClasses classes = groupByCTrace(ctraces);
-        stats.effectiveClasses += classes.effectiveClasses();
-        const AnalysisResult analysis = findCandidates(classes, traces);
-        stats.violatingTestCases += analysis.violatingTestCases;
-
-        if (cfg_.collectAllFormats) {
-            // Per-format tallies are *validated*: a same-class difference
-            // only counts if it persists when the pair is re-run under a
-            // common μarch context. Without this, context-sensitive
-            // formats (BP state above all) flag nearly every input pair,
-            // which is exactly the extra-validation cost Table 5 reports.
-            const std::size_t baseline_idx = 0; // L1dTlb is first
-            for (const auto &cls : classes.classes) {
-                if (cls.size() < 2)
-                    continue;
-                const std::size_t rep = cls.front();
-                for (std::size_t i = 1; i < cls.size(); ++i) {
-                    const std::size_t idx = cls[i];
-                    bool any_diff = false;
-                    for (std::size_t f = 0; f < all_formats.size(); ++f) {
-                        if (!(extra_traces[idx][f] ==
-                              extra_traces[rep][f])) {
-                            any_diff = true;
-                            break;
-                        }
-                    }
-                    if (!any_diff)
-                        continue;
-                    // One validation pair for all formats at once.
-                    harness.restoreContext(contexts[idx]);
-                    harness.runInput(inputs[rep]);
-                    std::vector<executor::UTrace> rep_under_idx;
-                    for (auto fmt : all_formats)
-                        rep_under_idx.push_back(
-                            harness.extractExtra(fmt));
-                    harness.restoreContext(contexts[rep]);
-                    harness.runInput(inputs[idx]);
-                    std::vector<executor::UTrace> idx_under_rep;
-                    for (auto fmt : all_formats)
-                        idx_under_rep.push_back(
-                            harness.extractExtra(fmt));
-                    stats.validationRuns += 2;
-
-                    auto confirmed = [&](std::size_t f) {
-                        if (extra_traces[idx][f] == extra_traces[rep][f])
-                            return false;
-                        return !(rep_under_idx[f] ==
-                                 extra_traces[idx][f]) ||
-                               !(idx_under_rep[f] ==
-                                 extra_traces[rep][f]);
-                    };
-                    const bool base_confirmed = confirmed(baseline_idx);
-                    for (std::size_t f = 0; f < all_formats.size(); ++f) {
-                        if (!confirmed(f))
-                            continue;
-                        FormatTally &tally =
-                            stats.formatTallies[all_formats[f]];
-                        ++tally.violatingTestCases;
-                        if (base_confirmed)
-                            ++tally.coveredByBaseline;
-                    }
-                }
-            }
-        }
-
-        // --- Validation (context swap) + recording --------------------
-        const executor::UarchContext ctx_end = harness.saveContext();
-        bool stop = false;
-        for (const CandidatePair &cand : analysis.candidates) {
-            ++stats.candidateViolations;
-            // Re-run each input under the other's starting μarch context
-            // (§3.2). The violation is confirmed when the inputs remain
-            // distinguishable under at least one *common* context: a pure
-            // initial-context artifact makes both same-context pairs
-            // equal, whereas a genuine leak that depends on predictor
-            // state (e.g. Spectre-v4 under a trained memory-dependence
-            // predictor) still differs under one of them.
-            harness.restoreContext(contexts[cand.b]);
-            const auto a_under_b = harness.runInput(inputs[cand.a]);
-            harness.restoreContext(contexts[cand.a]);
-            const auto b_under_a = harness.runInput(inputs[cand.b]);
-            stats.validationRuns += 2;
-            const bool persists =
-                !(a_under_b.trace == traces[cand.b]) ||
-                !(b_under_a.trace == traces[cand.a]);
-            if (!persists)
-                continue;
-
-            ++stats.confirmedViolations;
-            const double t_detect = secondsSince(t0);
-            if (stats.firstDetectSeconds < 0)
-                stats.firstDetectSeconds = t_detect;
-
-            std::string signature = "unclassified";
-            if (cfg_.collectSignatures) {
-                signature = classifyViolation(
-                    harness, fp, inputs[cand.a], inputs[cand.b],
-                    contexts[cand.a], contexts[cand.b]);
-            }
-            ++stats.signatureCounts[signature];
-
-            if (stats.records.size() < cfg_.maxViolationsRecorded) {
-                ViolationRecord rec;
-                rec.defenseName = defense::defenseKindName(
-                    cfg_.harness.defense.kind);
-                rec.contractName = cfg_.contract.name;
-                rec.programText = isa::formatProgram(prog);
-                rec.programIndex = p;
-                rec.inputA = inputs[cand.a];
-                rec.inputB = inputs[cand.b];
-                rec.traceA = traces[cand.a];
-                rec.traceB = traces[cand.b];
-                rec.ctxA = contexts[cand.a];
-                rec.ctxB = contexts[cand.b];
-                rec.ctraceHash =
-                    contracts::hashCTrace(ctraces[cand.a]);
-                rec.signature = signature;
-                rec.detectSeconds = t_detect;
-                stats.records.push_back(std::move(rec));
-            }
-            if (cfg_.stopAtFirstViolation) {
-                stop = true;
-                break;
-            }
-        }
-        harness.restoreContext(ctx_end);
-        if (stop)
-            break;
-    }
-
-    stats.wallSeconds = secondsSince(t0);
-    stats.times.startupSec = harness.times().startupSec;
-    stats.times.simulateSec = harness.times().simulateSec;
-    stats.times.traceExtractSec = harness.times().traceExtractSec;
-    stats.times.otherSec =
-        stats.wallSeconds -
-        (stats.times.startupSec + stats.times.simulateSec +
-         stats.times.traceExtractSec + stats.times.testGenSec +
-         stats.times.ctraceSec);
-    return stats;
+    // The whole fuzzing loop lives in the runtime subsystem: the
+    // scheduler shards programs across workers (jobs=1: same pipeline,
+    // inline) and merges results deterministically. See src/runtime/.
+    return runtime::CampaignScheduler(cfg_).run();
 }
 
 } // namespace amulet::core

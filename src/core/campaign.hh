@@ -43,6 +43,13 @@ struct CampaignConfig
      *  SpecLFB UV6). */
     unsigned regMutationPct = 70;
 
+    /** Worker threads sharing the campaign's programs (0 = all hardware
+     *  threads). Confirmed violations, signatures, and counters are
+     *  identical for every jobs value (see src/runtime/) — except under
+     *  stopAtFirstViolation with jobs>1, where the set of programs that
+     *  run before the stop flag lands is timing-dependent. */
+    unsigned jobs = 1;
+
     bool stopAtFirstViolation = false;
     bool collectSignatures = true;
     /** Also extract every other trace format per run (Table 5 overlap
@@ -73,6 +80,7 @@ struct CampaignStats
     std::map<std::string, std::uint64_t> signatureCounts;
     double wallSeconds = 0;
     double firstDetectSeconds = -1; ///< <0: nothing detected
+    unsigned jobs = 1;              ///< worker shards the campaign ran on
     executor::TimeBreakdown times;
     std::map<executor::TraceFormat, FormatTally> formatTallies;
 
@@ -84,6 +92,13 @@ struct CampaignStats
         return wallSeconds > 0 ? static_cast<double>(testCases) /
                                      wallSeconds
                                : 0;
+    }
+
+    /** Tests/second contributed by each worker shard on average. */
+    double
+    perShardThroughput() const
+    {
+        return jobs > 0 ? throughput() / jobs : throughput();
     }
 
     /** Multi-line human-readable report. */

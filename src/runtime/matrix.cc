@@ -1,0 +1,71 @@
+#include "runtime/matrix.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "runtime/scheduler.hh"
+#include "runtime/worker_pool.hh"
+
+namespace amulet::runtime
+{
+
+MatrixRunner::MatrixRunner(unsigned concurrentCampaigns)
+    : concurrency_(resolveJobs(concurrentCampaigns))
+{
+}
+
+void
+MatrixRunner::add(std::string label, core::CampaignConfig config)
+{
+    entries_.push_back({std::move(label), std::move(config)});
+}
+
+void
+MatrixRunner::addSweep(
+    const std::function<core::CampaignConfig(defense::DefenseKind)>
+        &makeBase,
+    const std::vector<defense::DefenseKind> &kinds,
+    const std::vector<contracts::ContractSpec> &contracts,
+    const std::vector<std::uint64_t> &seeds)
+{
+    for (defense::DefenseKind kind : kinds) {
+        for (const contracts::ContractSpec &contract : contracts) {
+            for (std::uint64_t seed : seeds) {
+                core::CampaignConfig cfg = makeBase(kind);
+                cfg.contract = contract;
+                cfg.seed = seed;
+                std::ostringstream label;
+                label << defense::defenseKindName(kind) << "/"
+                      << contract.name << "/seed" << seed;
+                add(label.str(), std::move(cfg));
+            }
+        }
+    }
+}
+
+std::vector<MatrixResult>
+MatrixRunner::runAll()
+{
+    std::vector<MatrixResult> results(entries_.size());
+    auto run_one = [&](std::size_t i) {
+        results[i].label = entries_[i].label;
+        results[i].config = entries_[i].config;
+        results[i].stats =
+            CampaignScheduler(entries_[i].config).run();
+    };
+
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(concurrency_, entries_.size()));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < entries_.size(); ++i)
+            run_one(i);
+    } else {
+        WorkerPool pool(workers);
+        for (std::size_t i = 0; i < entries_.size(); ++i)
+            pool.submit([&run_one, i] { run_one(i); });
+        pool.wait();
+    }
+    return results;
+}
+
+} // namespace amulet::runtime

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Matrix runner: schedules whole defense × contract × seed sweeps as a
+ * batch of campaigns.
+ *
+ * Each matrix entry is an independent campaign; the runner executes them
+ * across a WorkerPool (scenario-level parallelism) while every campaign
+ * keeps its own jobs setting (program-level parallelism). Results come
+ * back in entry order and each campaign result obeys the scheduler's
+ * determinism contract, so sweep output is reproducible for any
+ * concurrency.
+ */
+
+#ifndef AMULET_RUNTIME_MATRIX_HH
+#define AMULET_RUNTIME_MATRIX_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hh"
+
+namespace amulet::runtime
+{
+
+/** One cell of a campaign matrix. */
+struct MatrixEntry
+{
+    std::string label;
+    core::CampaignConfig config;
+};
+
+/** One finished cell. */
+struct MatrixResult
+{
+    std::string label;
+    core::CampaignConfig config;
+    core::CampaignStats stats;
+};
+
+/** Batch scheduler for campaign sweeps. */
+class MatrixRunner
+{
+  public:
+    /** @p concurrentCampaigns: campaigns in flight at once (0 = all
+     *  hardware threads). */
+    explicit MatrixRunner(unsigned concurrentCampaigns = 1);
+
+    /** Append one campaign. */
+    void add(std::string label, core::CampaignConfig config);
+
+    /**
+     * Append the full defense × contract × seed cross product.
+     * @p makeBase builds the per-defense base config (harness defaults,
+     * priming mode, sandbox size); contract and seed are then overridden
+     * per cell. Labels are "defense/contract/seedN".
+     */
+    void addSweep(
+        const std::function<core::CampaignConfig(defense::DefenseKind)>
+            &makeBase,
+        const std::vector<defense::DefenseKind> &kinds,
+        const std::vector<contracts::ContractSpec> &contracts,
+        const std::vector<std::uint64_t> &seeds);
+
+    std::size_t size() const { return entries_.size(); }
+
+    /** Run every entry; results are returned in entry order. */
+    std::vector<MatrixResult> runAll();
+
+  private:
+    unsigned concurrency_;
+    std::vector<MatrixEntry> entries_;
+};
+
+} // namespace amulet::runtime
+
+#endif // AMULET_RUNTIME_MATRIX_HH

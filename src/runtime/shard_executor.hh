@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Per-worker campaign pipeline.
+ *
+ * A ShardExecutor owns one simulator harness plus one leakage model and
+ * runs the full generate → contract-trace → execute → analyze → validate
+ * pipeline for one test program at a time. Determinism contract: a
+ * program's outcome is a pure function of (config, program index,
+ * program RNG stream) —
+ *
+ *  - all randomness comes from the per-program Rng stream handed in by
+ *    the scheduler (pre-split from the campaign seed in program order),
+ *  - the predictor state (branch + memory-dependence) is restored to the
+ *    canonical post-boot context before every program, and the harness
+ *    already canonicalizes caches/TLB between inputs,
+ *
+ * so any worker may run any program and the merged campaign result is
+ * independent of the worker count and of scheduling order.
+ */
+
+#ifndef AMULET_RUNTIME_SHARD_EXECUTOR_HH
+#define AMULET_RUNTIME_SHARD_EXECUTOR_HH
+
+#include <chrono>
+
+#include "common/rng.hh"
+#include "contracts/leakage_model.hh"
+#include "core/campaign.hh"
+#include "executor/sim_harness.hh"
+#include "runtime/violation_sink.hh"
+
+namespace amulet::runtime
+{
+
+/** Campaign wall clock (detection timestamps, time breakdowns). */
+using Clock = std::chrono::steady_clock;
+
+/** Seconds elapsed since @p t0. */
+inline double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** One worker's private pipeline state. */
+class ShardExecutor
+{
+  public:
+
+    /**
+     * Construct (and boot) the worker's simulator. @p t0 is the campaign
+     * start time; detection timestamps are measured against it.
+     */
+    ShardExecutor(const core::CampaignConfig &cfg, Clock::time_point t0);
+
+    /** Run one program with its dedicated RNG stream. */
+    ProgramOutcome runProgram(unsigned programIndex, Rng prog_rng);
+
+    /** Harness time breakdown accumulated so far (startup/sim/extract). */
+    const executor::TimeBreakdown &times() const
+    {
+        return harness_.times();
+    }
+
+  private:
+    const core::CampaignConfig &cfg_;
+    executor::SimHarness harness_;
+    contracts::LeakageModel model_;
+    executor::UarchContext canonicalCtx_; ///< post-boot predictor state
+    Clock::time_point t0_;
+};
+
+} // namespace amulet::runtime
+
+#endif // AMULET_RUNTIME_SHARD_EXECUTOR_HH

@@ -1,0 +1,75 @@
+#include "runtime/violation_sink.hh"
+
+#include <stdexcept>
+
+namespace amulet::runtime
+{
+
+ViolationSink::ViolationSink(unsigned numPrograms, unsigned maxRecords)
+    : outcomes_(numPrograms), reported_(numPrograms, false),
+      maxRecords_(maxRecords)
+{
+}
+
+void
+ViolationSink::report(unsigned programIndex, ProgramOutcome outcome)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    // A hard error even in release builds: an out-of-range or duplicate
+    // report means the scheduler handed out a bad program index, and
+    // silently merging it would corrupt campaign results.
+    if (programIndex >= outcomes_.size() || reported_[programIndex]) {
+        throw std::logic_error(
+            "ViolationSink: out-of-range or duplicate program report");
+    }
+    reported_[programIndex] = true;
+    outcomes_[programIndex] = std::move(outcome);
+}
+
+void
+ViolationSink::addTimes(const executor::TimeBreakdown &times)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    times_.accumulate(times);
+}
+
+core::CampaignStats
+ViolationSink::finalize() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    core::CampaignStats stats;
+    stats.times = times_;
+    for (const ProgramOutcome &out : outcomes_) {
+        stats.times.testGenSec += out.testGenSec;
+        stats.times.ctraceSec += out.ctraceSec;
+        if (!out.ran)
+            continue;
+        ++stats.programs;
+        stats.testCases += out.testCases;
+        stats.effectiveClasses += out.effectiveClasses;
+        stats.candidateViolations += out.candidateViolations;
+        stats.validationRuns += out.validationRuns;
+        stats.violatingTestCases += out.violatingTestCases;
+        stats.confirmedViolations += out.confirmedViolations;
+        if (out.firstDetectSeconds >= 0 &&
+            (stats.firstDetectSeconds < 0 ||
+             out.firstDetectSeconds < stats.firstDetectSeconds)) {
+            stats.firstDetectSeconds = out.firstDetectSeconds;
+        }
+        for (const auto &[sig, count] : out.signatureCounts)
+            stats.signatureCounts[sig] += count;
+        for (const auto &[fmt, tally] : out.formatTallies) {
+            core::FormatTally &merged = stats.formatTallies[fmt];
+            merged.violatingTestCases += tally.violatingTestCases;
+            merged.coveredByBaseline += tally.coveredByBaseline;
+        }
+        for (const core::ViolationRecord &rec : out.records) {
+            if (stats.records.size() >= maxRecords_)
+                break;
+            stats.records.push_back(rec);
+        }
+    }
+    return stats;
+}
+
+} // namespace amulet::runtime

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Thread-safe collection point for parallel campaign results.
+ *
+ * Workers publish one ProgramOutcome per test program; the sink merges
+ * them into a single CampaignStats:
+ *
+ *  - counters are sum-merged,
+ *  - firstDetectSeconds is min-merged,
+ *  - TimeBreakdown is accumulated across workers,
+ *  - violations are deduplicated by signature into signatureCounts,
+ *  - records are emitted in *program order* with the global cap applied,
+ *    so the merged result is identical for any worker count or
+ *    completion order (the runtime's determinism contract).
+ */
+
+#ifndef AMULET_RUNTIME_VIOLATION_SINK_HH
+#define AMULET_RUNTIME_VIOLATION_SINK_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hh"
+#include "core/violation.hh"
+#include "executor/sim_harness.hh"
+
+namespace amulet::runtime
+{
+
+/** Everything one program run contributes to campaign stats. */
+struct ProgramOutcome
+{
+    /** False when the program was skipped (pathological / cycle cap). */
+    bool ran = false;
+
+    std::uint64_t testCases = 0;
+    std::uint64_t effectiveClasses = 0;
+    std::uint64_t candidateViolations = 0;
+    std::uint64_t validationRuns = 0;
+    std::uint64_t violatingTestCases = 0;
+    std::uint64_t confirmedViolations = 0;
+    double firstDetectSeconds = -1; ///< campaign-relative; <0: none
+    double testGenSec = 0;
+    double ctraceSec = 0;
+    std::vector<core::ViolationRecord> records;
+    std::map<std::string, std::uint64_t> signatureCounts;
+    std::map<executor::TraceFormat, core::FormatTally> formatTallies;
+};
+
+/** Thread-safe, order-insensitive campaign-stats merger. */
+class ViolationSink
+{
+  public:
+    ViolationSink(unsigned numPrograms, unsigned maxRecords);
+
+    /** Publish the outcome of program @p programIndex. Thread-safe;
+     *  each index must be reported at most once. */
+    void report(unsigned programIndex, ProgramOutcome outcome);
+
+    /** Accumulate one worker's harness time breakdown. Thread-safe. */
+    void addTimes(const executor::TimeBreakdown &times);
+
+    /**
+     * Deterministic merge of all reported outcomes, in program order.
+     * Call after all workers finished; fills everything except
+     * wallSeconds/jobs/otherSec, which the scheduler owns.
+     */
+    core::CampaignStats finalize() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::vector<ProgramOutcome> outcomes_; ///< indexed by program
+    std::vector<bool> reported_;
+    executor::TimeBreakdown times_;
+    unsigned maxRecords_;
+};
+
+} // namespace amulet::runtime
+
+#endif // AMULET_RUNTIME_VIOLATION_SINK_HH

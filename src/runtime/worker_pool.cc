@@ -1,0 +1,78 @@
+#include "runtime/worker_pool.hh"
+
+namespace amulet::runtime
+{
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 1;
+}
+
+WorkerPool::WorkerPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = 1;
+    threads_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+WorkerPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.push_back(std::move(job));
+    }
+    work_cv_.notify_one();
+}
+
+void
+WorkerPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock,
+                  [this] { return queue_.empty() && inFlight_ == 0; });
+}
+
+void
+WorkerPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            work_cv_.wait(lock,
+                          [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and nothing left to do
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            ++inFlight_;
+        }
+        job();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --inFlight_;
+            if (queue_.empty() && inFlight_ == 0)
+                idle_cv_.notify_all();
+        }
+    }
+}
+
+} // namespace amulet::runtime

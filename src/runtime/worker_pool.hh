@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fixed-size worker pool over std::thread.
+ *
+ * The pool owns N long-lived threads draining a FIFO work queue. It is the
+ * execution substrate for the campaign runtime: the scheduler submits one
+ * shard task per worker, the matrix runner submits one task per campaign.
+ * Nothing in here knows about campaigns — it is a plain job queue.
+ */
+
+#ifndef AMULET_RUNTIME_WORKER_POOL_HH
+#define AMULET_RUNTIME_WORKER_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace amulet::runtime
+{
+
+/** Resolve a jobs request: 0 means "use all hardware threads". */
+unsigned resolveJobs(unsigned requested);
+
+/** Fixed-size thread pool with a FIFO queue and a drain barrier. */
+class WorkerPool
+{
+  public:
+    /** Spawn @p threads workers (at least 1). */
+    explicit WorkerPool(unsigned threads);
+
+    /** Drains the queue, then joins all workers. */
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** Enqueue a job. Safe from any thread, including workers. */
+    void submit(std::function<void()> job);
+
+    /** Block until the queue is empty and no job is in flight. */
+    void wait();
+
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> threads_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mu_;
+    std::condition_variable work_cv_;  ///< signals workers: work or stop
+    std::condition_variable idle_cv_;  ///< signals wait(): pool drained
+    std::size_t inFlight_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace amulet::runtime
+
+#endif // AMULET_RUNTIME_WORKER_POOL_HH

@@ -88,13 +88,20 @@ TEST(CampaignE2E, SpecLfbBuggyFindsUv6PatchedIsClean)
 
 TEST(CampaignE2E, SttBuggyFindsKv3PatchedIsClean)
 {
-    core::Campaign buggy(baseConfig(defense::DefenseKind::Stt));
+    // KV3 reaches confirmation in roughly a third of 40-program
+    // campaigns; this seed is one that hits it under the runtime's
+    // per-program RNG streams (seed 33 found it under the pre-runtime
+    // sequential streams).
+    auto buggy_cfg = baseConfig(defense::DefenseKind::Stt);
+    buggy_cfg.seed = 8;
+    core::Campaign buggy(buggy_cfg);
     const auto bs = buggy.run();
     EXPECT_TRUE(bs.detected());
     EXPECT_TRUE(bs.signatureCounts.count(core::sig::kKv3TaintedStoreTlb));
 
     auto cfg = baseConfig(defense::DefenseKind::Stt, true);
     cfg.harness.defense.kind = defense::DefenseKind::Stt;
+    cfg.seed = 8;
     core::Campaign patched(cfg);
     const auto ps = patched.run();
     EXPECT_EQ(ps.confirmedViolations, 0u);
