@@ -2,7 +2,8 @@
  * @file
  * Campaign CLI: run a configurable AMuLeT testing campaign from the
  * command line — choose the defense, contract, trace format, scale, and
- * amplification, exactly like driving the paper's artifact.
+ * amplification, exactly like driving the paper's artifact — and work
+ * with persisted violation corpora.
  *
  * Usage examples:
  *   ./build/examples/campaign_cli --defense invisispec --programs 100
@@ -11,14 +12,30 @@
  *        --pages 128 --programs 100
  *   ./build/examples/campaign_cli --defense invisispec --patched \
  *        --ways 2 --mshrs 2            # Table 6 amplification
+ *
+ * Corpus workflow (src/corpus/):
+ *   campaign_cli --corpus-dir corpus/ --programs 200       # journal
+ *   campaign_cli --corpus-dir corpus/ --resume --jobs 8    # continue
+ *   campaign_cli replay --corpus-dir corpus/               # re-confirm
+ *   campaign_cli replay --corpus-dir corpus/ --minimize
+ *   campaign_cli export --corpus-dir corpus/ --out corpus.jsonl
+ *   campaign_cli merge --corpus-dir merged/ shard0/ shard1/
  */
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/campaign.hh"
+#include "core/minimizer.hh"
+#include "core/root_cause.hh"
+#include "corpus/corpus_store.hh"
+#include "corpus/replayer.hh"
+#include "corpus/serde.hh"
+#include "isa/disasm.hh"
 
 namespace
 {
@@ -27,7 +44,11 @@ void
 usage(const char *argv0)
 {
     std::printf(
-        "usage: %s [options]\n"
+        "usage: %s [run] [options]\n"
+        "       %s replay --corpus-dir DIR [--minimize] [--root-cause]\n"
+        "       %s export --corpus-dir DIR [--out FILE]\n"
+        "       %s merge  --corpus-dir DST SRC...\n"
+        "run options:\n"
         "  --defense NAME    baseline|invisispec|cleanupspec|stt|speclfb\n"
         "  --contract NAME   CT-SEQ|CT-COND|ARCH-SEQ   (default CT-SEQ)\n"
         "  --trace NAME      l1dtlb|l1dtlbl1i|bpstate|memorder|"
@@ -40,12 +61,199 @@ usage(const char *argv0)
         "  --jobs N          worker threads (default 1; 0 = all cores)\n"
         "  --ways N          L1D ways (amplification)\n"
         "  --mshrs N         L1D MSHRs (amplification)\n"
+        "  --boot-insts N    simulator boot-program length (default "
+        "8000)\n"
         "  --patched         apply all published fixes to the defense\n"
         "  --naive           AMuLeT-Naive (restart per input)\n"
         "  --invalidate      invalidate-hook cache reset (default: "
         "conflict fill)\n"
-        "  --stop-first      stop at the first confirmed violation\n",
-        argv0);
+        "  --stop-first      stop at the first confirmed violation\n"
+        "corpus options (run):\n"
+        "  --corpus-dir DIR  journal confirmed violations + checkpoints\n"
+        "  --resume          continue from DIR's checkpoint\n"
+        "  --checkpoint-every N   programs per checkpoint (default 8)\n"
+        "  --max-programs N  stop after N programs this process "
+        "(resumable)\n",
+        argv0, argv0, argv0, argv0);
+}
+
+/**
+ * Parse a non-negative integer argument, or die with a friendly message
+ * (exit 2) instead of the uncaught-exception/garbage-value behaviour of
+ * the stoi/atoi family.
+ */
+std::uint64_t
+parseNum(const char *flag, const char *text)
+{
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long value = std::strtoull(text, &end, 10);
+    if (errno != 0 || end == text || *end != '\0' ||
+        std::strchr(text, '-') != nullptr) {
+        std::fprintf(stderr,
+                     "campaign_cli: invalid value '%s' for %s "
+                     "(expected a non-negative integer)\n",
+                     text, flag);
+        std::exit(2);
+    }
+    return value;
+}
+
+unsigned
+parseU32(const char *flag, const char *text)
+{
+    const std::uint64_t value = parseNum(flag, text);
+    if (value > ~0u) {
+        std::fprintf(stderr, "campaign_cli: value '%s' for %s is too "
+                             "large\n",
+                     text, flag);
+        std::exit(2);
+    }
+    return static_cast<unsigned>(value);
+}
+
+[[noreturn]] void
+unknownOption(const char *argv0, const std::string &arg)
+{
+    std::fprintf(stderr, "campaign_cli: unknown option '%s'; valid "
+                         "options are:\n",
+                 arg.c_str());
+    usage(argv0);
+    std::exit(2);
+}
+
+/** Load a corpus (config + journal) or die with a readable error. */
+struct LoadedCorpus
+{
+    amulet::core::CampaignConfig config;
+    std::vector<amulet::core::ViolationRecord> records;
+};
+
+LoadedCorpus
+loadCorpus(const std::string &dir)
+{
+    using namespace amulet;
+    if (dir.empty()) {
+        std::fprintf(stderr, "campaign_cli: --corpus-dir is required for "
+                             "this subcommand\n");
+        std::exit(2);
+    }
+    try {
+        LoadedCorpus corpus;
+        corpus.config = corpus::CorpusStore::readConfig(dir);
+        corpus.records = corpus::CorpusStore::readJournal(dir);
+        return corpus;
+    } catch (const corpus::CorpusError &e) {
+        std::fprintf(stderr, "campaign_cli: %s\n", e.what());
+        std::exit(1);
+    }
+}
+
+int
+cmdReplay(const std::string &dir, bool minimize, bool root_cause)
+{
+    using namespace amulet;
+    const LoadedCorpus corpus = loadCorpus(dir);
+    std::printf("replaying %zu record(s) from %s\n",
+                corpus.records.size(), dir.c_str());
+    executor::SimHarness harness(corpus.config.harness);
+    contracts::LeakageModel model(corpus.config.contract);
+    unsigned failures = 0;
+    for (std::size_t i = 0; i < corpus.records.size(); ++i) {
+        const core::ViolationRecord &rec = corpus.records[i];
+        const auto outcome = corpus::replayViolation(harness, rec);
+        std::printf("[%zu] %s: %s\n", i, rec.summary().c_str(),
+                    outcome.confirmed() ? "CONFIRMED" : "FAILED");
+        if (!outcome.confirmed()) {
+            ++failures;
+            std::printf("     %s\n", outcome.detail.c_str());
+            continue;
+        }
+        if (minimize) {
+            const isa::Program prog = corpus::reparseProgram(rec);
+            const core::MinimizeResult reduced = core::minimizeViolation(
+                harness, model, corpus.config.harness.map, prog, rec);
+            std::printf("     minimized: %u insts removed (%u checks); "
+                        "reduced listing:\n%s\n",
+                        reduced.removedInsts, reduced.checks,
+                        isa::formatProgram(reduced.program).c_str());
+        }
+        if (root_cause) {
+            const isa::Program prog = corpus::reparseProgram(rec);
+            const isa::FlatProgram fp(prog,
+                                      corpus.config.harness.map.codeBase);
+            std::printf("%s\n",
+                        core::renderSideBySide(harness, fp, rec).c_str());
+        }
+    }
+    std::printf("replay: %zu confirmed, %u failed\n",
+                corpus.records.size() - failures, failures);
+    return failures == 0 ? 0 : 1;
+}
+
+int
+cmdExport(const std::string &dir, const std::string &out_file)
+{
+    using namespace amulet;
+    if (dir.empty()) {
+        std::fprintf(stderr, "campaign_cli: --corpus-dir is required for "
+                             "this subcommand\n");
+        return 2;
+    }
+    try {
+        // One journal pass serves both the export text and the listing.
+        const auto records = corpus::CorpusStore::readJournal(dir);
+        const std::string text =
+            corpus::CorpusStore::exportCanonical(dir, records);
+        if (out_file.empty()) {
+            fputs(text.c_str(), stdout);
+            return 0;
+        }
+        std::FILE *f = std::fopen(out_file.c_str(), "wb");
+        if (!f) {
+            std::fprintf(stderr, "campaign_cli: cannot write %s\n",
+                         out_file.c_str());
+            return 1;
+        }
+        const bool wrote =
+            std::fwrite(text.data(), 1, text.size(), f) == text.size();
+        if (std::fclose(f) != 0 || !wrote) {
+            std::fprintf(stderr, "campaign_cli: short write to %s "
+                                 "(disk full?)\n",
+                         out_file.c_str());
+            return 1;
+        }
+        // The one-line summaries make the listing self-describing
+        // without loading full records.
+        std::printf("exported %zu record(s) to %s\n", records.size(),
+                    out_file.c_str());
+        for (const auto &rec : records)
+            std::printf("  %s\n", rec.summary().c_str());
+        return 0;
+    } catch (const corpus::CorpusError &e) {
+        std::fprintf(stderr, "campaign_cli: %s\n", e.what());
+        return 1;
+    }
+}
+
+int
+cmdMerge(const std::string &dst, const std::vector<std::string> &srcs)
+{
+    using namespace amulet;
+    if (dst.empty() || srcs.empty()) {
+        std::fprintf(stderr, "campaign_cli: merge needs --corpus-dir DST "
+                             "and at least one SRC dir\n");
+        return 2;
+    }
+    try {
+        const std::size_t added = corpus::CorpusStore::mergeInto(dst, srcs);
+        std::printf("merged %zu new record(s) into %s\n", added,
+                    dst.c_str());
+        return 0;
+    } catch (const corpus::CorpusError &e) {
+        std::fprintf(stderr, "campaign_cli: %s\n", e.what());
+        return 1;
+    }
 }
 
 } // namespace
@@ -55,80 +263,177 @@ main(int argc, char **argv)
 {
     using namespace amulet;
 
+    // Subcommand dispatch: "run" is implicit when the first argument is
+    // a flag (backwards compatible with the pre-corpus CLI).
+    std::string command = "run";
+    int first_arg = 1;
+    if (argc > 1 && argv[1][0] != '-') {
+        command = argv[1];
+        first_arg = 2;
+        if (command != "run" && command != "replay" && command != "export"
+            && command != "merge") {
+            std::fprintf(stderr, "campaign_cli: unknown subcommand '%s'\n",
+                         command.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
     core::CampaignConfig cfg;
     cfg.numPrograms = 50;
     cfg.baseInputsPerProgram = 6;
     cfg.siblingsPerBase = 4;
     bool patched = false;
     defense::DefenseKind kind = defense::DefenseKind::Baseline;
+    std::string corpus_dir;
+    std::string out_file;
+    std::vector<std::string> positional;
+    bool minimize = false;
+    bool root_cause = false;
 
-    for (int i = 1; i < argc; ++i) {
+    std::string current_arg;
+    // Silently ignoring a flag the subcommand never reads (e.g.
+    // `replay --patched`) would let the user misattribute results to a
+    // configuration that was never applied.
+    auto only = [&](const char *valid_command) {
+        if (command != valid_command) {
+            std::fprintf(stderr,
+                         "campaign_cli: %s is only valid for the %s "
+                         "subcommand\n",
+                         current_arg.c_str(), valid_command);
+            std::exit(2);
+        }
+    };
+
+    for (int i = first_arg; i < argc; ++i) {
         const std::string arg = argv[i];
+        current_arg = arg;
         auto next = [&]() -> const char * {
             if (i + 1 >= argc) {
-                usage(argv[0]);
+                std::fprintf(stderr,
+                             "campaign_cli: %s needs an argument\n",
+                             arg.c_str());
                 std::exit(2);
             }
             return argv[++i];
         };
-        if (arg == "--defense") {
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (arg[0] != '-') {
+            positional.push_back(arg);
+        } else if (arg == "--defense") {
+            only("run");
             auto k = defense::parseDefenseKind(next());
             if (!k) {
-                std::fprintf(stderr, "unknown defense\n");
+                std::fprintf(stderr, "campaign_cli: unknown defense\n");
                 return 2;
             }
             kind = *k;
         } else if (arg == "--contract") {
+            only("run");
             auto c = contracts::findContract(next());
             if (!c) {
-                std::fprintf(stderr, "unknown contract\n");
+                std::fprintf(stderr, "campaign_cli: unknown contract\n");
                 return 2;
             }
             cfg.contract = *c;
         } else if (arg == "--trace") {
+            only("run");
             auto f = executor::parseTraceFormat(next());
             if (!f) {
-                std::fprintf(stderr, "unknown trace format\n");
+                std::fprintf(stderr,
+                             "campaign_cli: unknown trace format\n");
                 return 2;
             }
             cfg.harness.traceFormat = *f;
         } else if (arg == "--programs") {
-            cfg.numPrograms = static_cast<unsigned>(atoi(next()));
+            only("run");
+            cfg.numPrograms = parseU32("--programs", next());
         } else if (arg == "--inputs") {
-            cfg.baseInputsPerProgram = static_cast<unsigned>(atoi(next()));
+            only("run");
+            cfg.baseInputsPerProgram = parseU32("--inputs", next());
         } else if (arg == "--siblings") {
-            cfg.siblingsPerBase = static_cast<unsigned>(atoi(next()));
+            only("run");
+            cfg.siblingsPerBase = parseU32("--siblings", next());
         } else if (arg == "--pages") {
-            cfg.harness.map.sandboxPages =
-                static_cast<unsigned>(atoi(next()));
+            only("run");
+            cfg.harness.map.sandboxPages = parseU32("--pages", next());
         } else if (arg == "--seed") {
-            cfg.seed = static_cast<std::uint64_t>(atoll(next()));
+            only("run");
+            cfg.seed = parseNum("--seed", next());
         } else if (arg == "--jobs") {
-            const int jobs = atoi(next());
-            if (jobs < 0) {
-                std::fprintf(stderr, "--jobs must be >= 0\n");
-                return 2;
-            }
-            cfg.jobs = static_cast<unsigned>(jobs);
+            only("run");
+            cfg.jobs = parseU32("--jobs", next());
         } else if (arg == "--ways") {
-            cfg.harness.core.l1d.ways = static_cast<unsigned>(atoi(next()));
+            only("run");
+            cfg.harness.core.l1d.ways = parseU32("--ways", next());
         } else if (arg == "--mshrs") {
-            cfg.harness.core.l1dMshrs =
-                static_cast<unsigned>(atoi(next()));
+            only("run");
+            cfg.harness.core.l1dMshrs = parseU32("--mshrs", next());
+        } else if (arg == "--boot-insts") {
+            only("run");
+            cfg.harness.bootInsts = parseU32("--boot-insts", next());
         } else if (arg == "--patched") {
+            only("run");
             patched = true;
         } else if (arg == "--naive") {
+            only("run");
             cfg.harness.naiveMode = true;
         } else if (arg == "--invalidate") {
+            only("run");
             cfg.harness.prime = executor::PrimeMode::Invalidate;
         } else if (arg == "--stop-first") {
+            only("run");
             cfg.stopAtFirstViolation = true;
+        } else if (arg == "--corpus-dir") {
+            corpus_dir = next();
+        } else if (arg == "--resume") {
+            only("run");
+            cfg.resume = true;
+        } else if (arg == "--checkpoint-every") {
+            only("run");
+            cfg.checkpointEvery = parseU32("--checkpoint-every", next());
+        } else if (arg == "--max-programs") {
+            only("run");
+            cfg.maxProgramsThisRun = parseU32("--max-programs", next());
+        } else if (arg == "--out") {
+            only("export");
+            out_file = next();
+        } else if (arg == "--minimize") {
+            only("replay");
+            minimize = true;
+        } else if (arg == "--root-cause") {
+            only("replay");
+            root_cause = true;
         } else {
-            usage(argv[0]);
-            return arg == "--help" ? 0 : 2;
+            unknownOption(argv[0], arg);
         }
     }
 
+    // Only merge takes positional operands (its SRC corpus dirs);
+    // anywhere else a stray operand is a typo that must not be
+    // silently ignored.
+    if (command != "merge" && !positional.empty()) {
+        std::fprintf(stderr, "campaign_cli: unexpected argument '%s'\n",
+                     positional.front().c_str());
+        usage(argv[0]);
+        return 2;
+    }
+
+    if (command == "replay")
+        return cmdReplay(corpus_dir, minimize, root_cause);
+    if (command == "export")
+        return cmdExport(corpus_dir, out_file);
+    if (command == "merge")
+        return cmdMerge(corpus_dir, positional);
+
+    if (cfg.resume && corpus_dir.empty()) {
+        std::fprintf(stderr, "campaign_cli: --resume requires "
+                             "--corpus-dir (nothing to resume from)\n");
+        return 2;
+    }
+    cfg.corpusDir = corpus_dir;
     cfg.harness.defense =
         patched ? defense::DefenseConfig::patched(kind)
                 : defense::DefenseConfig{};
@@ -142,19 +447,26 @@ main(int argc, char **argv)
     cfg.inputs.map = cfg.harness.map;
 
     std::printf("campaign: defense=%s%s contract=%s trace=%s programs=%u "
-                "inputs=%u x %u pages=%u seed=%llu jobs=%u%s\n\n",
+                "inputs=%u x %u pages=%u seed=%llu jobs=%u%s%s%s%s\n\n",
                 defense::defenseKindName(kind), patched ? " (patched)" : "",
                 cfg.contract.name.c_str(),
                 executor::traceFormatName(cfg.harness.traceFormat),
                 cfg.numPrograms, cfg.baseInputsPerProgram,
                 1 + cfg.siblingsPerBase, cfg.harness.map.sandboxPages,
                 static_cast<unsigned long long>(cfg.seed), cfg.jobs,
-                cfg.harness.naiveMode ? " NAIVE" : "");
+                cfg.harness.naiveMode ? " NAIVE" : "",
+                cfg.corpusDir.empty() ? "" : " corpus=",
+                cfg.corpusDir.c_str(), cfg.resume ? " (resume)" : "");
 
-    core::Campaign campaign(cfg);
-    const core::CampaignStats stats = campaign.run();
-    std::printf("%s\n", stats.report().c_str());
-    for (const auto &rec : stats.records)
-        std::printf("  %s\n", rec.summary().c_str());
+    try {
+        core::Campaign campaign(cfg);
+        const core::CampaignStats stats = campaign.run();
+        std::printf("%s\n", stats.report().c_str());
+        for (const auto &rec : stats.records)
+            std::printf("  %s\n", rec.summary().c_str());
+    } catch (const corpus::CorpusError &e) {
+        std::fprintf(stderr, "campaign_cli: %s\n", e.what());
+        return 1;
+    }
     return 0;
 }

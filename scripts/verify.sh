@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Tier-1 verification entry point: configure, build, run the test suite.
+# Tier-1 verification entry point: configure, build, run the test suite,
+# then smoke-test the corpus kill/resume/replay workflow end to end.
 # Builders and CI share this one script; it exits nonzero on any failure.
 set -euo pipefail
 
@@ -10,3 +11,45 @@ JOBS="${VERIFY_JOBS:-$(nproc)}"
 cmake -B build -S .
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure --no-tests=error -j "${JOBS}"
+
+# --- Corpus smoke: run, kill, resume, export, replay ------------------------
+# The acceptance property of src/corpus/: a campaign killed by a program
+# budget and resumed at a different jobs value exports byte-identical
+# records to an uninterrupted run, and every record replays CONFIRMED.
+CLI=build/examples/campaign_cli
+SMOKE=$(mktemp -d)
+trap 'rm -rf "${SMOKE}"' EXIT
+CAMPAIGN=(--programs 12 --seed 1 --boot-insts 2000)
+
+echo "--- corpus smoke: friendly CLI errors"
+if "${CLI}" --programs banana > /dev/null 2>&1; then
+  echo "FAIL: bad numeric argument must exit nonzero" >&2
+  exit 1
+fi
+if "${CLI}" --no-such-flag > /dev/null 2>&1; then
+  echo "FAIL: unknown flag must exit nonzero" >&2
+  exit 1
+fi
+
+echo "--- corpus smoke: uninterrupted reference run"
+"${CLI}" "${CAMPAIGN[@]}" --corpus-dir "${SMOKE}/full" --jobs 2 > /dev/null
+
+echo "--- corpus smoke: budget-killed run + resume at different --jobs"
+"${CLI}" "${CAMPAIGN[@]}" --corpus-dir "${SMOKE}/part" \
+    --max-programs 5 --checkpoint-every 2 --jobs 1 > /dev/null
+"${CLI}" "${CAMPAIGN[@]}" --corpus-dir "${SMOKE}/part" \
+    --resume --jobs 3 > /dev/null
+
+echo "--- corpus smoke: exports must be byte-identical"
+"${CLI}" export --corpus-dir "${SMOKE}/full" --out "${SMOKE}/full.jsonl" \
+    > /dev/null
+"${CLI}" export --corpus-dir "${SMOKE}/part" --out "${SMOKE}/part.jsonl" \
+    > /dev/null
+# Header + at least one record line, or the comparison is vacuous.
+test "$(wc -l < "${SMOKE}/full.jsonl")" -gt 1
+cmp "${SMOKE}/full.jsonl" "${SMOKE}/part.jsonl"
+
+echo "--- corpus smoke: every exported record must replay CONFIRMED"
+"${CLI}" replay --corpus-dir "${SMOKE}/part" > /dev/null
+
+echo "corpus smoke: OK"

@@ -107,4 +107,19 @@ Rng::split()
     return Rng(next() ^ 0x9e3779b97f4a7c15ULL);
 }
 
+Rng::State
+Rng::state() const
+{
+    return {s_[0], s_[1], s_[2], s_[3]};
+}
+
+Rng
+Rng::fromState(const State &state)
+{
+    Rng rng(0);
+    for (std::size_t i = 0; i < state.size(); ++i)
+        rng.s_[i] = state[i];
+    return rng;
+}
+
 } // namespace amulet

@@ -11,6 +11,7 @@
 #ifndef AMULET_COMMON_RNG_HH
 #define AMULET_COMMON_RNG_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -63,6 +64,16 @@ class Rng
 
     /** Derive an independent child stream (for parallel components). */
     Rng split();
+
+    /** @name Raw engine state (corpus checkpoint / exact-replay serde)
+     *  A stream restored from state() continues the exact output
+     *  sequence; that is how per-program streams are shipped to other
+     *  processes or replayed from a corpus. */
+    /// @{
+    using State = std::array<std::uint64_t, 4>;
+    State state() const;
+    static Rng fromState(const State &state);
+    /// @}
 
   private:
     std::uint64_t s_[4];

@@ -10,10 +10,14 @@ namespace amulet::core
 std::string
 ViolationRecord::summary() const
 {
+    // Leads with the program index and signature — corpus listings
+    // (campaign_cli export) are built from these one-liners, so each must
+    // identify its record without loading the full journal entry.
     std::ostringstream os;
-    os << defenseName << " vs " << contractName << ": " << signature
-       << " (program " << programIndex << ", inputs " << inputA.id << "/"
-       << inputB.id << ", t=" << detectSeconds << "s)";
+    os << "p" << programIndex << " " << signature << ": " << defenseName
+       << " vs " << contractName << " (inputs " << inputA.id << "/"
+       << inputB.id << ", ctrace 0x" << std::hex << ctraceHash << std::dec
+       << ", t=" << detectSeconds << "s)";
     return os.str();
 }
 
@@ -34,6 +38,9 @@ CampaignStats::report() const
        << "throughput:          " << throughput() << " tests/s\n"
        << "per-shard rate:      " << perShardThroughput()
        << " tests/s\n";
+    if (resumedPrograms > 0)
+        os << "resumed (checkpoint):" << " " << resumedPrograms
+           << " programs\n";
     if (firstDetectSeconds >= 0)
         os << "first detection:     " << firstDetectSeconds << " s\n";
     for (const auto &[name, count] : signatureCounts)

@@ -57,6 +57,25 @@ struct CampaignConfig
     bool collectAllFormats = false;
     unsigned maxViolationsRecorded = 32;
     std::uint64_t seed = 1;
+
+    /** @name Corpus persistence (src/corpus/)
+     *  Runtime knobs, like jobs: none of these participate in the
+     *  campaign definition, so they are excluded from the corpus config
+     *  fingerprint and may differ between the runs of one corpus. */
+    /// @{
+    /** Campaign directory for the journal/checkpoint; empty: disabled. */
+    std::string corpusDir;
+    /** Load the checkpoint in corpusDir and continue the campaign from
+     *  the programs it has not completed yet. */
+    bool resume = false;
+    /** Completed programs between checkpoint rewrites. */
+    unsigned checkpointEvery = 8;
+    /** Stop claiming new programs after this many ran in this process
+     *  (0 = unlimited). With a corpus dir the final checkpoint makes the
+     *  partial campaign resumable — a clean kill switch for
+     *  time-budgeted runs and for kill/resume testing. */
+    unsigned maxProgramsThisRun = 0;
+    /// @}
 };
 
 /** Per-trace-format tallies for the all-formats mode. */
@@ -81,6 +100,8 @@ struct CampaignStats
     double wallSeconds = 0;
     double firstDetectSeconds = -1; ///< <0: nothing detected
     unsigned jobs = 1;              ///< worker shards the campaign ran on
+    /** Programs restored from a corpus checkpoint rather than run. */
+    unsigned resumedPrograms = 0;
     executor::TimeBreakdown times;
     std::map<executor::TraceFormat, FormatTally> formatTallies;
 

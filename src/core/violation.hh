@@ -14,6 +14,7 @@
 #include <string>
 
 #include "arch/input.hh"
+#include "common/rng.hh"
 #include "executor/sim_harness.hh"
 #include "executor/uarch_trace.hh"
 
@@ -37,6 +38,10 @@ struct ViolationRecord
     std::uint64_t ctraceHash = 0;
     std::string signature;       ///< root-cause bucket (see signature.hh)
     double detectSeconds = 0;    ///< wall time since campaign start
+    /** Pre-split RNG stream of the generating program, captured before
+     *  any draw: the whole test-generation pipeline for this program can
+     *  be re-derived offline from (config, programIndex, rngState). */
+    Rng::State rngState{};
 
     /** Short one-line summary. */
     std::string summary() const;

@@ -1,0 +1,92 @@
+#include "corpus/checkpoint.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "corpus/serde.hh"
+
+namespace fs = std::filesystem;
+
+namespace amulet::corpus
+{
+
+namespace
+{
+
+std::string
+checkpointPath(const std::string &dir)
+{
+    return (fs::path(dir) / "checkpoint.json").string();
+}
+
+} // namespace
+
+void
+writeCheckpoint(const std::string &dir, const core::CampaignConfig &config,
+                const CompletedOutcomes &completed)
+{
+    Json j = Json::object();
+    j.set("version", Json::number(std::uint64_t{kFormatVersion}));
+    // The fingerprint covers the whole campaign definition (including
+    // numPrograms), so no further identity fields are needed here.
+    j.set("fingerprint", Json::str(configFingerprint(config)));
+    Json outcomes = Json::array();
+    for (const auto &[index, outcome] : completed) {
+        Json entry = Json::object();
+        entry.set("programIndex", Json::number(std::uint64_t{index}));
+        entry.set("outcome", outcomeToJson(outcome));
+        outcomes.push(std::move(entry));
+    }
+    j.set("outcomes", std::move(outcomes));
+
+    const std::string path = checkpointPath(dir);
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        out << j.dump() << "\n";
+        out.flush();
+        if (!out)
+            throw CorpusError("cannot write " + tmp);
+    }
+    // Atomic within one filesystem: a reader sees the old checkpoint or
+    // the new one, never a torn file.
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec)
+        throw CorpusError("cannot rename " + tmp + ": " + ec.message());
+}
+
+CompletedOutcomes
+loadCheckpoint(const std::string &dir, const core::CampaignConfig &config)
+{
+    CompletedOutcomes completed;
+    const std::string path = checkpointPath(dir);
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return completed; // no checkpoint yet: resume from scratch
+
+    std::ostringstream os;
+    os << in.rdbuf();
+    const Json j = Json::parse(os.str());
+    const unsigned version = j.at("version").asUnsigned();
+    if (version != kFormatVersion) {
+        throw CorpusError("checkpoint version " + std::to_string(version) +
+                          " unsupported");
+    }
+    const std::string fingerprint = configFingerprint(config);
+    if (j.at("fingerprint").asStr() != fingerprint) {
+        throw CorpusError("checkpoint in " + dir +
+                          " belongs to a different campaign config");
+    }
+    for (const Json &entry : j.at("outcomes").items()) {
+        const unsigned index = entry.at("programIndex").asUnsigned();
+        if (index >= config.numPrograms)
+            throw CorpusError("checkpoint program index out of range");
+        completed[index] = outcomeFromJson(entry.at("outcome"));
+    }
+    return completed;
+}
+
+} // namespace amulet::corpus

@@ -1,0 +1,305 @@
+#include "corpus/corpus_store.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "corpus/serde.hh"
+
+namespace fs = std::filesystem;
+
+namespace amulet::corpus
+{
+
+namespace
+{
+
+std::string
+metaPath(const std::string &dir)
+{
+    return (fs::path(dir) / "meta.json").string();
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw CorpusError("cannot read " + path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/** Result of scanning a journal file. */
+struct JournalScan
+{
+    /** Byte length of the valid prefix (everything parseable). */
+    std::uintmax_t validBytes = 0;
+    /** True when the valid prefix ends with a line terminator. */
+    bool terminated = true;
+};
+
+/**
+ * Walk journal lines, calling @p per_line for each parsed document. A
+ * hard kill can leave one torn (partially flushed) final line; journal
+ * readers tolerate it — previously confirmed records must stay
+ * reachable — by stopping at the valid prefix instead of throwing. A
+ * final line that parses but lacks its '\n' is valid data with a torn
+ * terminator (reported via `terminated`). Corruption anywhere *before*
+ * the final line is real damage and does throw, with file:line context.
+ */
+template <typename PerLine>
+JournalScan
+walkJournal(const std::string &path, PerLine per_line)
+{
+    JournalScan scan;
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return scan; // no journal yet: empty corpus
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+
+    std::size_t pos = 0;
+    std::size_t lineno = 0;
+    while (pos < text.size()) {
+        const std::size_t nl = text.find('\n', pos);
+        const bool complete = nl != std::string::npos;
+        const std::string line =
+            text.substr(pos, complete ? nl - pos : std::string::npos);
+        ++lineno;
+        if (!line.empty()) {
+            try {
+                per_line(Json::parse(line));
+            } catch (const CorpusError &e) {
+                // A torn write is exactly an unterminated final line
+                // (the '\n' is the last byte of a complete append); a
+                // *terminated* bad line is real corruption.
+                if (!complete)
+                    return scan; // valid prefix ends before the torn tail
+                throw CorpusError(path + ":" + std::to_string(lineno) +
+                                  ": " + e.what());
+            }
+        }
+        if (!complete) {
+            scan.validBytes = text.size();
+            scan.terminated = false;
+            break;
+        }
+        pos = nl + 1;
+        scan.validBytes = pos;
+    }
+    return scan;
+}
+
+/** Dedup key straight off a parsed journal line — no full record
+ *  deserialization (no program re-assembly, no context decoding), so
+ *  opening a store stays cheap on corpora grown over many runs. */
+std::string
+keyFromJson(const Json &json)
+{
+    std::ostringstream os;
+    os << json.at("programIndex").asU64() << "/"
+       << json.at("inputA").at("id").asU64() << "/"
+       << json.at("inputB").at("id").asU64() << "/"
+       << json.at("signature").asStr();
+    return os.str();
+}
+
+} // namespace
+
+CorpusStore::CorpusStore(std::string dir,
+                         const core::CampaignConfig &config)
+    : dir_(std::move(dir)), fingerprint_(configFingerprint(config))
+{
+    fs::create_directories(dir_);
+    const std::string meta_path = metaPath(dir_);
+    if (fs::exists(meta_path)) {
+        const Json meta = Json::parse(readFile(meta_path));
+        const std::string existing = meta.at("fingerprint").asStr();
+        if (existing != fingerprint_) {
+            throw CorpusError(
+                "corpus at " + dir_ + " was built by a different campaign "
+                "config (fingerprint " + existing + ", this campaign is " +
+                fingerprint_ + ")");
+        }
+    } else {
+        Json meta = Json::object();
+        meta.set("version", Json::number(std::uint64_t{kFormatVersion}));
+        meta.set("fingerprint", Json::str(fingerprint_));
+        meta.set("config", configToJson(config));
+        std::ofstream out(meta_path, std::ios::binary);
+        out << meta.dump() << "\n";
+        if (!out)
+            throw CorpusError("cannot write " + meta_path);
+    }
+
+    // Seed the dedup index from whatever a previous run journaled, and
+    // repair a torn tail (partially flushed final line from a hard
+    // kill) by truncating to the valid prefix — appending after a torn
+    // fragment would otherwise poison the next record's line.
+    const JournalScan scan = walkJournal(
+        journalPath(), [this](const Json &j) { index_.insert(keyFromJson(j)); });
+    count_ = index_.size();
+    std::error_code ec;
+    const std::uintmax_t size = fs::file_size(journalPath(), ec);
+    if (!ec && size > scan.validBytes) {
+        fs::resize_file(journalPath(), scan.validBytes, ec);
+        // Appending after an un-truncated fragment would fuse it with
+        // the next record into a *terminated* corrupt line — permanent
+        // damage instead of a tolerated torn tail. Refuse to open.
+        if (ec) {
+            throw CorpusError("cannot truncate torn journal tail in " +
+                              dir_ + ": " + ec.message());
+        }
+    }
+
+    journal_ = std::fopen(journalPath().c_str(), "ab");
+    if (!journal_)
+        throw CorpusError("cannot open journal in " + dir_);
+    if (scan.validBytes > 0 && !scan.terminated)
+        std::fputc('\n', journal_); // re-terminate a valid torn tail
+}
+
+CorpusStore::~CorpusStore()
+{
+    if (journal_)
+        std::fclose(journal_);
+}
+
+std::string
+CorpusStore::journalPath() const
+{
+    return (fs::path(dir_) / "journal.jsonl").string();
+}
+
+std::string
+CorpusStore::recordKey(const core::ViolationRecord &record)
+{
+    std::ostringstream os;
+    os << record.programIndex << "/" << record.inputA.id << "/"
+       << record.inputB.id << "/" << record.signature;
+    return os.str();
+}
+
+bool
+CorpusStore::append(const core::ViolationRecord &record)
+{
+    const std::string line = toJson(record).dump();
+    const std::string key = recordKey(record);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!index_.insert(key).second)
+        return false;
+    // Flush per record: the journal must already hold everything a
+    // checkpoint can claim as completed when the process dies. An I/O
+    // failure (disk full, error) must not let the index/checkpoint
+    // claim durability the journal does not have.
+    const bool ok =
+        std::fwrite(line.data(), 1, line.size(), journal_) ==
+            line.size() &&
+        std::fputc('\n', journal_) != EOF &&
+        std::fflush(journal_) == 0;
+    if (!ok) {
+        index_.erase(key);
+        throw CorpusError("journal append failed in " + dir_ +
+                          " (disk full?)");
+    }
+    ++count_;
+    return true;
+}
+
+std::size_t
+CorpusStore::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+}
+
+core::CampaignConfig
+CorpusStore::readConfig(const std::string &dir)
+{
+    const Json meta = Json::parse(readFile(metaPath(dir)));
+    const unsigned version = meta.at("version").asUnsigned();
+    if (version != kFormatVersion) {
+        throw CorpusError("corpus format version " +
+                          std::to_string(version) + " unsupported");
+    }
+    return configFromJson(meta.at("config"));
+}
+
+std::vector<core::ViolationRecord>
+CorpusStore::readJournal(const std::string &dir)
+{
+    std::vector<core::ViolationRecord> records;
+    std::set<std::string> keys;
+    walkJournal((fs::path(dir) / "journal.jsonl").string(),
+                [&](const Json &j) {
+                    core::ViolationRecord rec = recordFromJson(j);
+                    if (keys.insert(recordKey(rec)).second)
+                        records.push_back(std::move(rec));
+                });
+    return records;
+}
+
+std::string
+CorpusStore::exportCanonical(const std::string &dir)
+{
+    return exportCanonical(dir, readJournal(dir));
+}
+
+std::string
+CorpusStore::exportCanonical(const std::string &dir,
+                             std::vector<core::ViolationRecord> records)
+{
+    const Json meta = Json::parse(readFile(metaPath(dir)));
+    std::sort(records.begin(), records.end(),
+              [](const core::ViolationRecord &a,
+                 const core::ViolationRecord &b) {
+                  return recordKey(a) < recordKey(b);
+              });
+
+    Json header = Json::object();
+    header.set("type", Json::str("corpus-export"));
+    header.set("version", Json::number(std::uint64_t{kFormatVersion}));
+    header.set("fingerprint", meta.at("fingerprint"));
+    header.set("records", Json::number(std::uint64_t{records.size()}));
+
+    std::string out = header.dump() + "\n";
+    for (core::ViolationRecord &rec : records) {
+        // detectSeconds is the only wall-clock field in a record; zero
+        // it so exports are byte-identical across jobs/kill/resume.
+        rec.detectSeconds = 0;
+        out += toJson(rec).dump() + "\n";
+    }
+    return out;
+}
+
+std::size_t
+CorpusStore::mergeInto(const std::string &dst_dir,
+                       const std::vector<std::string> &src_dirs)
+{
+    if (src_dirs.empty())
+        throw CorpusError("merge: no source corpora given");
+    CorpusStore dst(dst_dir, readConfig(src_dirs.front()));
+    std::size_t appended = 0;
+    for (const std::string &src : src_dirs) {
+        // The store constructor pinned dst's fingerprint; verify each
+        // source against it before touching its journal.
+        const std::string src_fp =
+            configFingerprint(readConfig(src));
+        if (src_fp != dst.fingerprint_) {
+            throw CorpusError("merge: " + src +
+                              " has fingerprint " + src_fp +
+                              ", expected " + dst.fingerprint_);
+        }
+        for (const core::ViolationRecord &rec : readJournal(src)) {
+            if (dst.append(rec))
+                ++appended;
+        }
+    }
+    return appended;
+}
+
+} // namespace amulet::corpus

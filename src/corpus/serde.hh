@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Versioned JSON serialization for the violation corpus (§3.3).
+ *
+ * Everything a violation needs to be re-derived offline is expressible
+ * as JSON: the record itself (program as disassembly, input pair, μarch
+ * traces, predictor contexts, RNG stream state) and the campaign
+ * configuration that produced it. Programs are stored as paper-style
+ * listings and reparsed through the assembler on load, so a corpus stays
+ * human-readable and the assembler↔disassembler round trip is the
+ * load-bearing invariant (tested over generator output in test_isa).
+ *
+ * The Json value type below is deliberately tiny: objects keep insertion
+ * order and numbers are stored as text, so serialization is canonical —
+ * equal values produce byte-equal dumps, which is what corpus exports
+ * and config fingerprints are built on.
+ */
+
+#ifndef AMULET_CORPUS_SERDE_HH
+#define AMULET_CORPUS_SERDE_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "arch/input.hh"
+#include "common/rng.hh"
+#include "core/campaign.hh"
+#include "core/violation.hh"
+#include "executor/sim_harness.hh"
+#include "executor/uarch_trace.hh"
+#include "runtime/violation_sink.hh"
+
+namespace amulet::corpus
+{
+
+/** Corpus format version; bumped on any incompatible schema change. */
+inline constexpr unsigned kFormatVersion = 1;
+
+/** Thrown on malformed or incompatible corpus data. */
+class CorpusError : public std::runtime_error
+{
+  public:
+    explicit CorpusError(const std::string &msg) : std::runtime_error(msg)
+    {}
+};
+
+/** Minimal JSON value: null, bool, number, string, array, object. */
+class Json
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Num,
+        Str,
+        Arr,
+        Obj,
+    };
+
+    Json() = default;
+
+    static Json boolean(bool value);
+    static Json number(std::uint64_t value);
+    static Json number(double value);
+    static Json str(std::string value);
+    static Json array();
+    static Json object();
+
+    Kind kind() const { return kind_; }
+
+    /** @name Accessors (throw CorpusError on kind mismatch) */
+    /// @{
+    bool asBool() const;
+    std::uint64_t asU64() const;
+    unsigned asUnsigned() const;
+    double asDouble() const;
+    const std::string &asStr() const;
+    const std::vector<Json> &items() const;
+    /** Object members in insertion order. */
+    const std::vector<std::pair<std::string, Json>> &members() const;
+    /// @}
+
+    /** Append to an array. */
+    void push(Json value);
+
+    /** Set/overwrite an object member (insertion order preserved). */
+    void set(const std::string &key, Json value);
+
+    /** Object member (throws CorpusError when absent). */
+    const Json &at(const std::string &key) const;
+
+    /** Object member or nullptr. */
+    const Json *find(const std::string &key) const;
+
+    /** Serialize canonically (no whitespace, members in insertion
+     *  order). */
+    std::string dump() const;
+
+    /** Parse one JSON document (must consume the whole text). */
+    static Json parse(const std::string &text);
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    std::string scalar_; ///< number text or string payload
+    std::vector<Json> items_;
+    std::vector<std::pair<std::string, Json>> members_;
+};
+
+/** @name Building blocks */
+/// @{
+Json toJson(const arch::Input &input);
+arch::Input inputFromJson(const Json &json);
+
+Json toJson(const executor::UTrace &trace);
+executor::UTrace traceFromJson(const Json &json);
+
+Json toJson(const executor::UarchContext &ctx);
+executor::UarchContext contextFromJson(const Json &json);
+
+Json toJson(const Rng::State &state);
+Rng::State rngStateFromJson(const Json &json);
+/// @}
+
+/**
+ * @name Violation records
+ * The program travels as its disassembly and is reparsed through the
+ * assembler on load; recordFromJson throws CorpusError when the listing
+ * no longer assembles.
+ */
+/// @{
+Json toJson(const core::ViolationRecord &record);
+core::ViolationRecord recordFromJson(const Json &json);
+/// @}
+
+/**
+ * @name Campaign configuration
+ * Serializes the campaign *definition*: generator/input/harness/contract
+ * knobs, scale, and seed. Runtime knobs (jobs, corpus fields) are
+ * excluded — they may legally differ between the runs of one corpus.
+ */
+/// @{
+Json configToJson(const core::CampaignConfig &config);
+core::CampaignConfig configFromJson(const Json &json);
+
+/** Stable hex fingerprint of the campaign definition (FNV-1a over the
+ *  canonical dump). Checkpoints and journals refuse to mix
+ *  fingerprints. */
+std::string configFingerprint(const core::CampaignConfig &config);
+/// @}
+
+/**
+ * @name Per-program outcomes (checkpoint payload)
+ * Serializes counters, signature counts, and format tallies — the sink
+ * state a resumed campaign restores instead of re-running the program.
+ * Violation records are deliberately excluded: the journal already
+ * holds them (keyed by program index), so checkpoints stay O(counters)
+ * and are never a second copy of megabyte-scale records.
+ */
+/// @{
+Json outcomeToJson(const runtime::ProgramOutcome &outcome);
+runtime::ProgramOutcome outcomeFromJson(const Json &json);
+/// @}
+
+} // namespace amulet::corpus
+
+#endif // AMULET_CORPUS_SERDE_HH

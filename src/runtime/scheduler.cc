@@ -1,10 +1,15 @@
 #include "runtime/scheduler.hh"
 
 #include <atomic>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <unordered_set>
 #include <vector>
 
 #include "common/rng.hh"
+#include "corpus/checkpoint.hh"
+#include "corpus/corpus_store.hh"
 #include "runtime/shard_executor.hh"
 #include "runtime/violation_sink.hh"
 #include "runtime/worker_pool.hh"
@@ -45,13 +50,68 @@ CampaignScheduler::run()
     std::atomic<unsigned> next_program{0};
     std::atomic<bool> stop{false};
 
+    // --- Corpus persistence (src/corpus/) --------------------------------
+    // Preload checkpointed outcomes *before* subscribing the store to the
+    // sink: their records are already journaled, and the store's dedup
+    // index would drop the duplicates anyway, but not streaming them at
+    // all keeps the journal append-only in spirit as well as in bytes.
+    std::unique_ptr<corpus::CorpusStore> store;
+    std::unordered_set<unsigned> completed;
+    bool already_detected = false;
+    if (!cfg_.corpusDir.empty()) {
+        store = std::make_unique<corpus::CorpusStore>(cfg_.corpusDir, cfg_);
+        if (cfg_.resume) {
+            auto restored = corpus::loadCheckpoint(cfg_.corpusDir, cfg_);
+            if (!restored.empty()) {
+                // Checkpoints carry counters only; the records of each
+                // completed program rehydrate from the journal, in
+                // journal order (= within-program detection order).
+                // Journaled records of *unfinished* programs are left
+                // alone — their program re-runs and re-derives them.
+                for (core::ViolationRecord &rec :
+                     corpus::CorpusStore::readJournal(cfg_.corpusDir)) {
+                    auto it = restored.find(rec.programIndex);
+                    if (it != restored.end())
+                        it->second.records.push_back(std::move(rec));
+                }
+            }
+            for (auto &[index, outcome] : restored) {
+                already_detected |= outcome.confirmedViolations > 0;
+                sink.report(index, std::move(outcome));
+                completed.insert(index);
+            }
+        }
+        sink.setRecordCallback(
+            [&store](unsigned, const core::ViolationRecord &rec) {
+                store->append(rec);
+            });
+    }
+    // Under stopAtFirstViolation a resumed campaign whose checkpoint
+    // already holds a detection is finished; do not run more programs.
+    if (cfg_.stopAtFirstViolation && already_detected)
+        stop.store(true, std::memory_order_relaxed);
+
+    std::mutex checkpoint_mu;
+    auto write_checkpoint = [&] {
+        std::lock_guard<std::mutex> lock(checkpoint_mu);
+        corpus::writeCheckpoint(cfg_.corpusDir, cfg_,
+                                sink.snapshotReported());
+    };
+    std::atomic<unsigned> ran_this_run{0};
+
+    // A corpus I/O failure (journal append, checkpoint write) inside a
+    // pool thread must surface as the library's CorpusError, not as
+    // std::terminate from an exception escaping a std::thread: capture
+    // the first failure, stop the campaign, rethrow on the caller.
+    std::exception_ptr failure;
+    std::mutex failure_mu;
+
     // One shard per worker: claim program indices dynamically for load
     // balance; determinism is per-program, not per-claim-order. The
     // executor (one simulator boot) is only constructed once the worker
     // has actually claimed a program, so workers that arrive after the
     // queue drained — or after a stop-first detection — cost nothing.
-    auto shard_task = [&] {
-        std::optional<ShardExecutor> exec;
+    auto shard_loop = [&](std::optional<ShardExecutor> &exec) {
         for (;;) {
             if (stop.load(std::memory_order_relaxed))
                 break;
@@ -59,6 +119,8 @@ CampaignScheduler::run()
                 next_program.fetch_add(1, std::memory_order_relaxed);
             if (p >= num_programs)
                 break;
+            if (completed.count(p))
+                continue; // restored from the checkpoint
             if (!exec)
                 exec.emplace(cfg_, t0);
             ProgramOutcome out = exec->runProgram(p, streams[p]);
@@ -66,6 +128,29 @@ CampaignScheduler::run()
             sink.report(p, std::move(out));
             if (detected && cfg_.stopAtFirstViolation)
                 stop.store(true, std::memory_order_relaxed);
+            const unsigned ran =
+                ran_this_run.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (cfg_.maxProgramsThisRun > 0 &&
+                ran >= cfg_.maxProgramsThisRun) {
+                // Per-process budget reached: stop claiming. The final
+                // checkpoint below makes the partial campaign resumable.
+                stop.store(true, std::memory_order_relaxed);
+            }
+            if (store && cfg_.checkpointEvery > 0 &&
+                ran % cfg_.checkpointEvery == 0) {
+                write_checkpoint();
+            }
+        }
+    };
+    auto shard_task = [&] {
+        std::optional<ShardExecutor> exec;
+        try {
+            shard_loop(exec);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(failure_mu);
+            if (!failure)
+                failure = std::current_exception();
+            stop.store(true, std::memory_order_relaxed);
         }
         if (exec)
             sink.addTimes(exec->times());
@@ -79,9 +164,17 @@ CampaignScheduler::run()
             pool.submit(shard_task);
         pool.wait();
     }
+    if (failure)
+        std::rethrow_exception(failure);
+
+    // Final checkpoint: everything completed (including this run's tail
+    // and any preloaded outcomes) is resumable state.
+    if (store)
+        write_checkpoint();
 
     core::CampaignStats stats = sink.finalize();
     stats.jobs = jobs;
+    stats.resumedPrograms = static_cast<unsigned>(completed.size());
     stats.wallSeconds = secondsSince(t0);
     // Across jobs workers, jobs * wallSeconds of worker time was
     // available; whatever the harness and campaign phases did not measure

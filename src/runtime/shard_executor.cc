@@ -23,6 +23,9 @@ ShardExecutor::runProgram(unsigned p, Rng prog_rng)
     using namespace amulet::core;
 
     ProgramOutcome out;
+    // Pre-split stream state, captured before any draw: with it, a
+    // journaled record can re-derive this whole program offline.
+    const Rng::State stream_state = prog_rng.state();
     Rng gen_rng = prog_rng.split();
     Rng input_rng = prog_rng.split();
     Rng mutate_rng = prog_rng.split();
@@ -237,6 +240,7 @@ ShardExecutor::runProgram(unsigned p, Rng prog_rng)
             rec.ctraceHash = contracts::hashCTrace(ctraces[cand.a]);
             rec.signature = signature;
             rec.detectSeconds = t_detect;
+            rec.rngState = stream_state;
             out.records.push_back(std::move(rec));
         }
         if (cfg_.stopAtFirstViolation)

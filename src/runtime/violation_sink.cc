@@ -22,8 +22,53 @@ ViolationSink::report(unsigned programIndex, ProgramOutcome outcome)
         throw std::logic_error(
             "ViolationSink: out-of-range or duplicate program report");
     }
+    // Stream records *before* marking the program reported: if the
+    // journal append throws (disk full), the program must not look
+    // completed — a checkpoint taken concurrently would otherwise claim
+    // records the journal never received. A partial append is harmless:
+    // the program stays unreported, re-runs on resume, and the store's
+    // dedup index drops the re-derived duplicates.
+    if (onRecord_) {
+        for (const core::ViolationRecord &rec : outcome.records)
+            onRecord_(programIndex, rec);
+    }
     reported_[programIndex] = true;
     outcomes_[programIndex] = std::move(outcome);
+}
+
+void
+ViolationSink::setRecordCallback(RecordCallback callback)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    onRecord_ = std::move(callback);
+}
+
+std::map<unsigned, ProgramOutcome>
+ViolationSink::snapshotReported() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::map<unsigned, ProgramOutcome> snapshot;
+    for (unsigned p = 0; p < outcomes_.size(); ++p) {
+        if (!reported_[p])
+            continue;
+        const ProgramOutcome &out = outcomes_[p];
+        ProgramOutcome copy;
+        copy.ran = out.ran;
+        copy.testCases = out.testCases;
+        copy.effectiveClasses = out.effectiveClasses;
+        copy.candidateViolations = out.candidateViolations;
+        copy.validationRuns = out.validationRuns;
+        copy.violatingTestCases = out.violatingTestCases;
+        copy.confirmedViolations = out.confirmedViolations;
+        copy.firstDetectSeconds = out.firstDetectSeconds;
+        copy.testGenSec = out.testGenSec;
+        copy.ctraceSec = out.ctraceSec;
+        copy.signatureCounts = out.signatureCounts;
+        copy.formatTallies = out.formatTallies;
+        // records intentionally omitted (see header).
+        snapshot[p] = std::move(copy);
+    }
+    return snapshot;
 }
 
 void

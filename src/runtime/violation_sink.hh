@@ -18,6 +18,7 @@
 #define AMULET_RUNTIME_VIOLATION_SINK_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -60,6 +61,27 @@ class ViolationSink
      *  each index must be reported at most once. */
     void report(unsigned programIndex, ProgramOutcome outcome);
 
+    /** Streamed per confirmed record as its outcome is reported. */
+    using RecordCallback =
+        std::function<void(unsigned programIndex,
+                           const core::ViolationRecord &record)>;
+
+    /**
+     * Stream every subsequently reported record to @p callback (invoked
+     * under the sink lock, in within-program detection order). The
+     * corpus store subscribes here; outcomes preloaded from a checkpoint
+     * are reported *before* the subscription so their records — already
+     * journaled by the killed run — are not streamed twice.
+     */
+    void setRecordCallback(RecordCallback callback);
+
+    /** Copy of all reported outcomes keyed by program index — the
+     *  checkpoint payload, so the records vectors are left out: they
+     *  are journaled separately, and deep-copying every record under
+     *  the sink lock would stall workers for data the checkpoint
+     *  serializer discards anyway. Thread-safe. */
+    std::map<unsigned, ProgramOutcome> snapshotReported() const;
+
     /** Accumulate one worker's harness time breakdown. Thread-safe. */
     void addTimes(const executor::TimeBreakdown &times);
 
@@ -76,6 +98,7 @@ class ViolationSink
     std::vector<bool> reported_;
     executor::TimeBreakdown times_;
     unsigned maxRecords_;
+    RecordCallback onRecord_;
 };
 
 } // namespace amulet::runtime

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.hh"
+#include "core/generator.hh"
 #include "isa/assembler.hh"
 #include "isa/disasm.hh"
 #include "isa/flags.hh"
@@ -233,6 +235,50 @@ TEST(Assembler, PaperListingRoundTrips)
             EXPECT_EQ(p2.blocks[b].body[i], p.blocks[b].body[i])
                 << "block " << b << " inst " << i;
     }
+}
+
+// The corpus stores programs as disassembly and reparses them through
+// the assembler on load (src/corpus/serde.cc), so every opcode the
+// generator can emit must survive the disasm → asm round trip exactly.
+// Two generator configurations: the defaults, and one with the rare
+// instruction classes (fences, SETcc, CMOV loads, LOOPNE, unaligned
+// offsets) amplified so they are certain to appear within the sample.
+TEST(Assembler, GeneratorProgramsRoundTrip)
+{
+    auto round_trip_many = [](const core::GeneratorConfig &cfg,
+                              std::uint64_t seed, int count) {
+        amulet::Rng rng(seed);
+        for (int i = 0; i < count; ++i) {
+            core::ProgramGenerator gen(cfg, rng.split());
+            const Program p = gen.generate();
+            ASSERT_FALSE(p.validate().has_value());
+            const std::string text = formatProgram(p);
+            Program q;
+            ASSERT_NO_THROW(q = assemble(text)) << text;
+            ASSERT_EQ(q.blocks.size(), p.blocks.size()) << text;
+            for (std::size_t b = 0; b < p.blocks.size(); ++b) {
+                ASSERT_EQ(q.blocks[b].body.size(), p.blocks[b].body.size())
+                    << text;
+                for (std::size_t k = 0; k < p.blocks[b].body.size(); ++k) {
+                    EXPECT_EQ(q.blocks[b].body[k], p.blocks[b].body[k])
+                        << "program " << i << " block " << b << " inst "
+                        << k << "\n" << text;
+                }
+            }
+        }
+    };
+
+    core::GeneratorConfig defaults;
+    round_trip_many(defaults, 1234, 50);
+
+    core::GeneratorConfig rare;
+    rare.fencePct = 25;
+    rare.setccPct = 25;
+    rare.cmovLoadPct = 80;
+    rare.rmwPct = 50;
+    rare.loopnePct = 60;
+    rare.unalignedPct = 80;
+    round_trip_many(rare, 5678, 50);
 }
 
 TEST(Assembler, ErrorsCarryLineNumbers)
