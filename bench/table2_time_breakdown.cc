@@ -21,7 +21,7 @@ main()
     struct Row
     {
         const char *name;
-        double sec[6];
+        double sec[7];
         double total;
     };
     Row rows[2];
@@ -46,18 +46,20 @@ main()
         r.sec[2] = t.traceExtractSec;
         r.sec[3] = t.testGenSec;
         r.sec[4] = t.ctraceSec;
-        r.sec[5] = t.otherSec < 0 ? 0 : t.otherSec;
+        r.sec[5] = t.filterSec;
+        r.sec[6] = t.otherSec < 0 ? 0 : t.otherSec;
         r.total = stats.wallSeconds;
     }
 
-    const char *components[6] = {"sim startup",   "sim simulate",
+    const char *components[7] = {"sim startup",   "sim simulate",
                                  "uTrace extraction", "Test generation",
-                                 "CTrace extraction", "Others"};
+                                 "CTrace extraction", "Ineffective filter",
+                                 "Others"};
     std::printf("(per test program of %u inputs, averaged over %u "
                 "programs)\n\n", inputs, programs);
     std::printf("%-20s | %12s %8s | %12s %8s\n", "Component", "Naive",
                 "", "Opt", "");
-    for (int c = 0; c < 6; ++c) {
+    for (int c = 0; c < 7; ++c) {
         std::printf("%-20s | %9.3f s  %5.1f%% | %9.3f s  %5.1f%%\n",
                     components[c], rows[0].sec[c] / programs,
                     100.0 * rows[0].sec[c] / rows[0].total,

@@ -94,5 +94,33 @@ main()
         "CT-COND violations (Spectre-v4\nclass) are rare at this scale "
         "for both modes, matching the paper's 330-minute\nNaive/Opt "
         "detection times for CT-COND vs minutes for CT-SEQ.\n");
+
+    // Ineffective-test-case filtering ablation (§3.2): the CT-COND/Opt
+    // cell above ran with filtering on (the default); re-run it with
+    // filtering off. CT-COND is where filtering bites — wrong-path
+    // reads split sibling classes, producing singleton test cases the
+    // filter prunes before the simulator. Verdicts are identical by the
+    // filter equivalence contract (tests/test_filter.cc); only
+    // simulator runs and wall time change. CI greps this line.
+    {
+        core::CampaignConfig cfg = campaignFor(
+            defense::DefenseKind::Baseline, false, "CT-COND");
+        cfg.numPrograms = scaled(60);
+        cfg.collectSignatures = false;
+        cfg.filterIneffective = false;
+        const auto off = core::Campaign(cfg).run();
+        const auto &on = results[3].stats; // CT-COND/opt above
+        std::printf(
+            "\nfilter ablation (CT-COND/Opt): off %.1f tests/s -> on "
+            "%.1f tests/s (%.2fx,\nsim input runs %llu -> %llu, "
+            "filtered %llu, skipped programs %u)\n",
+            off.throughput(), on.throughput(),
+            off.throughput() > 0 ? on.throughput() / off.throughput()
+                                 : 0.0,
+            static_cast<unsigned long long>(off.simInputRuns()),
+            static_cast<unsigned long long>(on.simInputRuns()),
+            static_cast<unsigned long long>(on.filteredTestCases),
+            on.skippedPrograms);
+    }
     return 0;
 }

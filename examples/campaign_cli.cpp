@@ -64,6 +64,7 @@ usage(const char *argv0)
         "  --boot-insts N    simulator boot-program length (default "
         "8000)\n"
         "  --patched         apply all published fixes to the defense\n"
+        "  --no-filter       disable ineffective-test-case filtering\n"
         "  --naive           AMuLeT-Naive (restart per input)\n"
         "  --invalidate      invalidate-hook cache reset (default: "
         "conflict fill)\n"
@@ -377,6 +378,9 @@ main(int argc, char **argv)
         } else if (arg == "--patched") {
             only("run");
             patched = true;
+        } else if (arg == "--no-filter") {
+            only("run");
+            cfg.filterIneffective = false;
         } else if (arg == "--naive") {
             only("run");
             cfg.harness.naiveMode = true;
@@ -447,13 +451,14 @@ main(int argc, char **argv)
     cfg.inputs.map = cfg.harness.map;
 
     std::printf("campaign: defense=%s%s contract=%s trace=%s programs=%u "
-                "inputs=%u x %u pages=%u seed=%llu jobs=%u%s%s%s%s\n\n",
+                "inputs=%u x %u pages=%u seed=%llu jobs=%u%s%s%s%s%s\n\n",
                 defense::defenseKindName(kind), patched ? " (patched)" : "",
                 cfg.contract.name.c_str(),
                 executor::traceFormatName(cfg.harness.traceFormat),
                 cfg.numPrograms, cfg.baseInputsPerProgram,
                 1 + cfg.siblingsPerBase, cfg.harness.map.sandboxPages,
                 static_cast<unsigned long long>(cfg.seed), cfg.jobs,
+                cfg.filterIneffective ? "" : " NOFILTER",
                 cfg.harness.naiveMode ? " NAIVE" : "",
                 cfg.corpusDir.empty() ? "" : " corpus=",
                 cfg.corpusDir.c_str(), cfg.resume ? " (resume)" : "");

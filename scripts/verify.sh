@@ -53,3 +53,54 @@ echo "--- corpus smoke: every exported record must replay CONFIRMED"
 "${CLI}" replay --corpus-dir "${SMOKE}/part" > /dev/null
 
 echo "corpus smoke: OK"
+
+# --- Filter smoke: filtering on/off must reach identical verdicts ------------
+# The filter equivalence contract (src/pipeline/README.md): for a fixed
+# (config, seed), verdicts and exported records are identical with
+# ineffective-test-case filtering on (default) and off.
+
+echo "--- filter smoke: on/off record equivalence (CT-SEQ, has records)"
+# Export headers carry the config fingerprint, which legitimately differs
+# (the knob is part of the campaign definition); strip the header line.
+"${CLI}" "${CAMPAIGN[@]}" --corpus-dir "${SMOKE}/fon" --jobs 2 > /dev/null
+"${CLI}" "${CAMPAIGN[@]}" --no-filter --corpus-dir "${SMOKE}/foff" \
+    --jobs 2 > /dev/null
+"${CLI}" export --corpus-dir "${SMOKE}/fon" --out "${SMOKE}/fon.jsonl" \
+    > /dev/null
+"${CLI}" export --corpus-dir "${SMOKE}/foff" --out "${SMOKE}/foff.jsonl" \
+    > /dev/null
+test "$(wc -l < "${SMOKE}/fon.jsonl")" -gt 1
+cmp <(tail -n +2 "${SMOKE}/fon.jsonl") <(tail -n +2 "${SMOKE}/foff.jsonl")
+
+echo "--- filter smoke: on/off verdict equivalence (CT-COND, filters)"
+# CT-COND is where filtering actually prunes simulator runs; the verdict
+# counters must not move. Wall-clock and the filtering counters are the
+# only legitimate differences, so compare the verdict lines of report().
+verdicts() {
+  grep -E "test cases:|effective classes:|candidates:|validation runs:|violating|confirmed:|unique" \
+    || true
+}
+FILTER_CAMPAIGN=(--programs 12 --seed 1 --contract CT-COND --boot-insts 2000)
+"${CLI}" "${FILTER_CAMPAIGN[@]}" --jobs 2 > "${SMOKE}/ccon.txt"
+"${CLI}" "${FILTER_CAMPAIGN[@]}" --no-filter --jobs 2 > "${SMOKE}/ccoff.txt"
+diff <(verdicts < "${SMOKE}/ccon.txt") <(verdicts < "${SMOKE}/ccoff.txt")
+if ! grep -E "filtered testcases:  [1-9]" "${SMOKE}/ccon.txt" > /dev/null; then
+  echo "FAIL: CT-COND smoke filtered nothing (vacuous equivalence)" >&2
+  exit 1
+fi
+
+echo "--- filter smoke: mixed-knob resume must be refused"
+if "${CLI}" "${CAMPAIGN[@]}" --no-filter --corpus-dir "${SMOKE}/fon" \
+    --resume > /dev/null 2>&1; then
+  echo "FAIL: resume with a different filter knob must exit nonzero" >&2
+  exit 1
+fi
+
+echo "filter smoke: OK"
+
+# --- Throughput canary: table3 filter ablation -------------------------------
+# Scaled-down table3 run printing the before/after tests/s line, so perf
+# regressions in the filter/batching path are visible in CI logs.
+echo "--- table3 throughput (filter off -> on)"
+AMULET_BENCH_SCALE="${AMULET_BENCH_SCALE:-0.2}" \
+    ./build/bench/table3_baseline_campaign | grep -A 2 "filter ablation"

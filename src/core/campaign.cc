@@ -26,7 +26,11 @@ CampaignStats::report() const
 {
     std::ostringstream os;
     os << "programs:            " << programs << "\n"
+       << "skipped programs:    " << skippedPrograms << "\n"
        << "test cases:          " << testCases << "\n"
+       << "filtered testcases:  " << filteredTestCases
+       << " (ineffective)\n"
+       << "sim input runs:      " << simInputRuns() << "\n"
        << "effective classes:   " << effectiveClasses << "\n"
        << "candidates:          " << candidateViolations << "\n"
        << "validation runs:     " << validationRuns << "\n"

@@ -43,6 +43,16 @@ struct CampaignConfig
      *  SpecLFB UV6). */
     unsigned regMutationPct = 70;
 
+    /** Ineffective-test-case filtering (§3.2): drop inputs whose
+     *  contract equivalence class is a singleton *before* any simulator
+     *  run — they can never form a candidate pair — and skip the
+     *  simulator entirely for programs with zero effective classes.
+     *  Confirmed violations, signatures, and records are identical with
+     *  filtering on or off (see src/pipeline/README.md), but the set of
+     *  inputs the simulator executes changes, so this is part of the
+     *  campaign definition and of the corpus config fingerprint. */
+    bool filterIneffective = true;
+
     /** Worker threads sharing the campaign's programs (0 = all hardware
      *  threads). Confirmed violations, signatures, and counters are
      *  identical for every jobs value (see src/runtime/) — except under
@@ -85,11 +95,50 @@ struct FormatTally
     std::uint64_t coveredByBaseline = 0; ///< also flagged by L1D+TLB
 };
 
+/**
+ * Everything one program run contributes to campaign stats — the
+ * product of running one program through the src/pipeline/ stages, and
+ * the unit the runtime's ViolationSink merges and the corpus checkpoint
+ * serializes.
+ */
+struct ProgramOutcome
+{
+    /** False when the program was aborted (cycle cap): its partial
+     *  results must not merge into campaign stats. */
+    bool ran = false;
+    /** The simulator was skipped or aborted for this program — either
+     *  an input hit the cycle cap (ran stays false), or filtering found
+     *  zero effective classes (ran is true, all inputs filtered). */
+    bool skippedProgram = false;
+
+    std::uint64_t testCases = 0;
+    /** Inputs dropped by ineffective-test-case filtering (singleton
+     *  equivalence classes); testCases - filteredTestCases inputs
+     *  actually ran on the simulator. */
+    std::uint64_t filteredTestCases = 0;
+    std::uint64_t effectiveClasses = 0;
+    std::uint64_t candidateViolations = 0;
+    std::uint64_t validationRuns = 0;
+    std::uint64_t violatingTestCases = 0;
+    std::uint64_t confirmedViolations = 0;
+    double firstDetectSeconds = -1; ///< campaign-relative; <0: none
+    double testGenSec = 0;
+    double ctraceSec = 0;
+    double filterSec = 0;
+    std::vector<ViolationRecord> records;
+    std::map<std::string, std::uint64_t> signatureCounts;
+    std::map<executor::TraceFormat, FormatTally> formatTallies;
+};
+
 /** Campaign outcome. */
 struct CampaignStats
 {
     unsigned programs = 0;
+    /** Programs whose simulator phase was skipped or aborted (cycle
+     *  cap, or zero effective classes under filtering). */
+    unsigned skippedPrograms = 0;
     std::uint64_t testCases = 0;
+    std::uint64_t filteredTestCases = 0; ///< never ran on the simulator
     std::uint64_t effectiveClasses = 0;
     std::uint64_t candidateViolations = 0;
     std::uint64_t validationRuns = 0;
@@ -107,6 +156,13 @@ struct CampaignStats
 
     bool detected() const { return confirmedViolations > 0; }
     std::size_t uniqueViolations() const { return signatureCounts.size(); }
+
+    /** Inputs that actually ran on the simulator (excludes filtered). */
+    std::uint64_t
+    simInputRuns() const
+    {
+        return testCases - filteredTestCases;
+    }
     double
     throughput() const
     {

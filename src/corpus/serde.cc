@@ -1089,6 +1089,10 @@ configToJson(const core::CampaignConfig &config)
           Json::number(std::uint64_t{config.siblingsPerBase}));
     j.set("regMutationPct",
           Json::number(std::uint64_t{config.regMutationPct}));
+    // Part of the campaign definition: filtering changes which inputs
+    // the simulator executes (and how μarch state evolves across them),
+    // so corpora written with it on and off must not mix.
+    j.set("filterIneffective", Json::boolean(config.filterIneffective));
     j.set("stopAtFirstViolation",
           Json::boolean(config.stopAtFirstViolation));
     j.set("collectSignatures", Json::boolean(config.collectSignatures));
@@ -1129,6 +1133,7 @@ configFromJson(const Json &json)
         json.at("baseInputsPerProgram").asUnsigned();
     config.siblingsPerBase = json.at("siblingsPerBase").asUnsigned();
     config.regMutationPct = json.at("regMutationPct").asUnsigned();
+    config.filterIneffective = json.at("filterIneffective").asBool();
     config.stopAtFirstViolation =
         json.at("stopAtFirstViolation").asBool();
     config.collectSignatures = json.at("collectSignatures").asBool();
@@ -1164,7 +1169,10 @@ outcomeToJson(const runtime::ProgramOutcome &outcome)
 {
     Json j = Json::object();
     j.set("ran", Json::boolean(outcome.ran));
+    j.set("skippedProgram", Json::boolean(outcome.skippedProgram));
     j.set("testCases", Json::number(outcome.testCases));
+    j.set("filteredTestCases",
+          Json::number(outcome.filteredTestCases));
     j.set("effectiveClasses", Json::number(outcome.effectiveClasses));
     j.set("candidateViolations",
           Json::number(outcome.candidateViolations));
@@ -1176,6 +1184,7 @@ outcomeToJson(const runtime::ProgramOutcome &outcome)
     j.set("firstDetectSeconds", Json::number(outcome.firstDetectSeconds));
     j.set("testGenSec", Json::number(outcome.testGenSec));
     j.set("ctraceSec", Json::number(outcome.ctraceSec));
+    j.set("filterSec", Json::number(outcome.filterSec));
     Json sigs = Json::object();
     for (const auto &[sig, count] : outcome.signatureCounts)
         sigs.set(sig, Json::number(count));
@@ -1202,7 +1211,9 @@ outcomeFromJson(const Json &json)
 {
     runtime::ProgramOutcome outcome;
     outcome.ran = json.at("ran").asBool();
+    outcome.skippedProgram = json.at("skippedProgram").asBool();
     outcome.testCases = json.at("testCases").asU64();
+    outcome.filteredTestCases = json.at("filteredTestCases").asU64();
     outcome.effectiveClasses = json.at("effectiveClasses").asU64();
     outcome.candidateViolations =
         json.at("candidateViolations").asU64();
@@ -1214,6 +1225,7 @@ outcomeFromJson(const Json &json)
         json.at("firstDetectSeconds").asDouble();
     outcome.testGenSec = json.at("testGenSec").asDouble();
     outcome.ctraceSec = json.at("ctraceSec").asDouble();
+    outcome.filterSec = json.at("filterSec").asDouble();
     for (const auto &[sig, count] : json.at("signatureCounts").members())
         outcome.signatureCounts[sig] = count.asU64();
     for (const Json &t : json.at("formatTallies").items()) {

@@ -36,8 +36,11 @@
 namespace amulet::corpus
 {
 
-/** Corpus format version; bumped on any incompatible schema change. */
-inline constexpr unsigned kFormatVersion = 1;
+/** Corpus format version; bumped on any incompatible schema change.
+ *  v2: CampaignConfig::filterIneffective joins the campaign definition
+ *  (and thus the fingerprint); ProgramOutcome carries the filtering
+ *  counters (skippedProgram, filteredTestCases, filterSec). */
+inline constexpr unsigned kFormatVersion = 2;
 
 /** Thrown on malformed or incompatible corpus data. */
 class CorpusError : public std::runtime_error

@@ -232,6 +232,33 @@ SimHarness::runInput(const arch::Input &input)
     return out;
 }
 
+SimHarness::BatchOutput
+SimHarness::runBatch(const std::vector<const arch::Input *> &batch,
+                     const std::vector<TraceFormat> *extraFormats)
+{
+    BatchOutput out;
+    out.runs.reserve(batch.size());
+    out.startContexts.reserve(batch.size());
+    for (const arch::Input *input : batch) {
+        out.startContexts.push_back(saveContext());
+        RunOutput run = runInput(*input);
+        if (run.run.hitCycleCap) {
+            out.startContexts.pop_back();
+            out.hitCycleCap = true;
+            break;
+        }
+        out.runs.push_back(std::move(run));
+        if (extraFormats) {
+            std::vector<UTrace> extra;
+            extra.reserve(extraFormats->size());
+            for (TraceFormat fmt : *extraFormats)
+                extra.push_back(extractExtra(fmt));
+            out.extras.push_back(std::move(extra));
+        }
+    }
+    return out;
+}
+
 UTrace
 SimHarness::extractExtra(TraceFormat format) const
 {

@@ -62,13 +62,14 @@ struct TimeBreakdown
     double traceExtractSec = 0;
     double testGenSec = 0;   ///< filled by the campaign
     double ctraceSec = 0;    ///< filled by the campaign
+    double filterSec = 0;    ///< filled by the campaign (FilterStage)
     double otherSec = 0;
 
     double
     totalSec() const
     {
         return startupSec + simulateSec + traceExtractSec + testGenSec +
-               ctraceSec + otherSec;
+               ctraceSec + filterSec + otherSec;
     }
 
     void
@@ -79,6 +80,7 @@ struct TimeBreakdown
         traceExtractSec += other.traceExtractSec;
         testGenSec += other.testGenSec;
         ctraceSec += other.ctraceSec;
+        filterSec += other.filterSec;
         otherSec += other.otherSec;
     }
 };
@@ -134,6 +136,35 @@ class SimHarness
      * caches per the configured PrimeMode.
      */
     RunOutput runInput(const arch::Input &input);
+
+    /** Result of one batched run (class-ordered batched execution). */
+    struct BatchOutput
+    {
+        /** One entry per completed input, in batch order. */
+        std::vector<RunOutput> runs;
+        /** μarch context saved immediately before each run (validation
+         *  swaps re-start from these). */
+        std::vector<UarchContext> startContexts;
+        /** Per-run extra trace formats, when requested. */
+        std::vector<std::vector<UTrace>> extras;
+        /** The batch stopped early: runs.size() inputs completed and
+         *  the next one hit the simulator cycle cap. */
+        bool hitCycleCap = false;
+    };
+
+    /**
+     * Execute a batch of inputs back-to-back — the inputs of one
+     * contract equivalence class. Observationally identical to calling
+     * saveContext + runInput (+ extractExtra) per input: per-input
+     * priming is load-bearing (each trace must start from primed
+     * caches), so nothing is elided. The batch is the *seam*: one call
+     * per class is the unit a future asynchronous or out-of-process
+     * backend dispatches whole. Inputs are passed by pointer — sandbox
+     * payloads are never copied.
+     */
+    BatchOutput runBatch(const std::vector<const arch::Input *> &batch,
+                         const std::vector<TraceFormat> *extraFormats =
+                             nullptr);
 
     /** Extract an additional trace format from the last run's state. */
     UTrace extractExtra(TraceFormat format) const;

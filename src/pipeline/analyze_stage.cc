@@ -1,0 +1,16 @@
+#include "pipeline/stages.hh"
+
+namespace amulet::pipeline
+{
+
+void
+AnalyzeStage::run(StageContext &, ProgramPlan &plan)
+{
+    // Pure relational analysis over the executed traces. Singleton
+    // classes are skipped inside findCandidates, so the default-
+    // constructed trace slots of filtered inputs are never read.
+    plan.analysis = core::findCandidates(plan.classes, plan.traces);
+    plan.outcome.violatingTestCases = plan.analysis.violatingTestCases;
+}
+
+} // namespace amulet::pipeline

@@ -1,0 +1,87 @@
+#include "pipeline/stages.hh"
+
+#include <optional>
+#include <utility>
+
+#include "core/input_gen.hh"
+#include "isa/reg.hh"
+
+namespace amulet::pipeline
+{
+
+void
+CTraceStage::run(StageContext &ctx, ProgramPlan &plan)
+{
+    const auto t0 = Clock::now();
+    const core::CampaignConfig &cfg = ctx.cfg;
+    const isa::FlatProgram &fp = *plan.flat;
+    core::InputGenerator input_gen(cfg.inputs, plan.inputRng);
+
+    std::uint64_t next_id = std::uint64_t{plan.programIndex} * 10000;
+    for (unsigned b = 0; b < cfg.baseInputsPerProgram; ++b) {
+        arch::Input base = input_gen.generate(next_id++);
+        const contracts::CTrace base_ct =
+            ctx.model.collect(fp, base, cfg.harness.map);
+        const auto read_offsets =
+            ctx.model.archReadOffsets(fp, base, cfg.harness.map);
+
+        // Contract-dead registers: registers whose value does not
+        // influence the contract trace. Siblings may mutate them
+        // (that is how register-secret leaks such as SpecLFB UV6
+        // become reachable) — unless the contract exposes initial
+        // register values (ARCH-SEQ), in which case inputs of one
+        // class keep identical registers, as in the paper.
+        std::vector<unsigned> dead_regs;
+        if (!cfg.contract.exposeInitialRegs && cfg.regMutationPct > 0) {
+            for (unsigned r = 0; r < isa::kNumRegs; ++r) {
+                if (r == isa::regIndex(isa::kSandboxBaseReg) ||
+                    r == isa::regIndex(isa::Reg::Rsp)) {
+                    continue;
+                }
+                arch::Input probe = base;
+                probe.regs[r] ^= 0x5a5a5a5a5a5aULL;
+                if (ctx.model.collect(fp, probe, cfg.harness.map) ==
+                    base_ct) {
+                    dead_regs.push_back(r);
+                }
+            }
+        }
+
+        plan.inputs.push_back(base);
+        plan.ctraces.push_back(base_ct);
+        for (unsigned s = 0; s < cfg.siblingsPerBase; ++s) {
+            arch::Input sib =
+                input_gen.sibling(base, read_offsets, next_id++);
+            // The trace that confirmed a kept mutation IS the sibling's
+            // contract trace; collecting it again would double the
+            // model cost of every mutated sibling.
+            std::optional<contracts::CTrace> confirmed_ct;
+            if (!dead_regs.empty() &&
+                plan.mutateRng.chance(cfg.regMutationPct, 100)) {
+                arch::Input mutated = sib;
+                for (unsigned r : dead_regs) {
+                    if (plan.mutateRng.chance(1, 2))
+                        mutated.regs[r] = plan.mutateRng.next();
+                }
+                // Joint mutation can still interact (e.g. two dead
+                // registers combining into a live value); keep the
+                // mutation only if the model confirms equivalence.
+                contracts::CTrace mut_ct =
+                    ctx.model.collect(fp, mutated, cfg.harness.map);
+                if (mut_ct == base_ct) {
+                    sib = std::move(mutated);
+                    confirmed_ct = std::move(mut_ct);
+                }
+            }
+            contracts::CTrace sib_ct =
+                confirmed_ct
+                    ? std::move(*confirmed_ct)
+                    : ctx.model.collect(fp, sib, cfg.harness.map);
+            plan.inputs.push_back(std::move(sib));
+            plan.ctraces.push_back(std::move(sib_ct));
+        }
+    }
+    plan.outcome.ctraceSec += secondsSince(t0);
+}
+
+} // namespace amulet::pipeline

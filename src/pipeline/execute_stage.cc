@@ -1,0 +1,64 @@
+#include "pipeline/stages.hh"
+
+namespace amulet::pipeline
+{
+
+void
+ExecuteStage::run(StageContext &ctx, ProgramPlan &plan)
+{
+    core::ProgramOutcome &out = plan.outcome;
+    const bool extras = ctx.cfg.collectAllFormats;
+    const auto all_formats = executor::allTraceFormats();
+
+    // Composability fallback: in a pipeline without a FilterStage the
+    // classes were never planned — execute every class rather than
+    // silently running nothing.
+    if (plan.classes.classes.empty() && !plan.inputs.empty()) {
+        plan.classes = core::groupByCTrace(plan.ctraces);
+        out.effectiveClasses = plan.classes.effectiveClasses();
+        plan.executeClasses.clear();
+        for (std::size_t c = 0; c < plan.classes.classes.size(); ++c)
+            plan.executeClasses.push_back(c);
+    }
+
+    plan.traces.assign(plan.inputs.size(), {});
+    plan.contexts.assign(plan.inputs.size(), {});
+    if (extras)
+        plan.extraTraces.assign(plan.inputs.size(), {});
+
+    ctx.harness.loadProgram(&*plan.flat);
+    // Canonical start: predictor state does not leak across programs, so
+    // the outcome is independent of which worker ran the previous one.
+    // Within the program, predictor state flows across the executed
+    // batches exactly as AMuLeT-Opt flows it across inputs.
+    ctx.harness.restoreContext(ctx.canonicalCtx);
+
+    for (std::size_t c : plan.executeClasses) {
+        const std::vector<std::size_t> &cls = plan.classes.classes[c];
+        std::vector<const arch::Input *> batch;
+        batch.reserve(cls.size());
+        for (std::size_t idx : cls)
+            batch.push_back(&plan.inputs[idx]);
+
+        executor::SimHarness::BatchOutput res = ctx.harness.runBatch(
+            batch, extras ? &all_formats : nullptr);
+        if (res.hitCycleCap) {
+            // Pathological program; abort it. ran stays false (its
+            // partial results must not merge into campaign stats) and
+            // the skip is counted, unlike in the pre-pipeline runtime.
+            out.skippedProgram = true;
+            plan.halt = true;
+            return;
+        }
+        for (std::size_t i = 0; i < cls.size(); ++i) {
+            plan.traces[cls[i]] = std::move(res.runs[i].trace);
+            plan.contexts[cls[i]] = std::move(res.startContexts[i]);
+            if (extras)
+                plan.extraTraces[cls[i]] = std::move(res.extras[i]);
+        }
+    }
+    out.ran = true;
+    out.testCases = plan.inputs.size();
+}
+
+} // namespace amulet::pipeline

@@ -1,0 +1,55 @@
+#include "pipeline/stages.hh"
+
+namespace amulet::pipeline
+{
+
+void
+FilterStage::run(StageContext &ctx, ProgramPlan &plan)
+{
+    const auto t0 = Clock::now();
+    core::ProgramOutcome &out = plan.outcome;
+
+    // Equivalence classes are a pure function of the contract traces,
+    // so they are computable before any simulator run — the whole point
+    // of filtering here rather than after execution.
+    plan.classes = core::groupByCTrace(plan.ctraces);
+    out.effectiveClasses = plan.classes.effectiveClasses();
+
+    plan.executeClasses.clear();
+    std::vector<std::size_t> singletons;
+    for (std::size_t c = 0; c < plan.classes.classes.size(); ++c) {
+        if (plan.classes.classes[c].size() >= 2)
+            plan.executeClasses.push_back(c);
+        else
+            singletons.push_back(c);
+    }
+
+    if (ctx.cfg.filterIneffective) {
+        // Singleton classes can never form a candidate pair; their
+        // simulator runs are pure cost.
+        for (std::size_t c : singletons)
+            out.filteredTestCases += plan.classes.classes[c].size();
+    } else {
+        // Filtering off: singletons still execute, but after every
+        // effective class. The executed prefix — the only runs any
+        // later stage reads — is therefore identical in both modes,
+        // which is what makes filtering outcome-preserving.
+        plan.executeClasses.insert(plan.executeClasses.end(),
+                                   singletons.begin(), singletons.end());
+    }
+    out.filterSec += secondsSince(t0);
+
+    if (plan.executeClasses.empty()) {
+        // Nothing can witness a relational violation; skip the
+        // simulator entirely. The outcome is complete and
+        // deterministic: the program counts, its test cases were all
+        // filtered, and it is reported as skipped.
+        out.ran = true;
+        out.testCases = plan.inputs.size();
+        if (out.filteredTestCases > 0)
+            out.skippedProgram = true;
+        plan.halt = true;
+    }
+}
+
+} // namespace amulet::pipeline

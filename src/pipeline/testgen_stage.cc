@@ -1,0 +1,18 @@
+#include "pipeline/stages.hh"
+
+#include "core/generator.hh"
+
+namespace amulet::pipeline
+{
+
+void
+TestGenStage::run(StageContext &ctx, ProgramPlan &plan)
+{
+    const auto t0 = Clock::now();
+    core::ProgramGenerator generator(ctx.cfg.gen, plan.genRng);
+    plan.program = generator.generate();
+    plan.flat.emplace(plan.program, ctx.cfg.harness.map.codeBase);
+    plan.outcome.testGenSec += secondsSince(t0);
+}
+
+} // namespace amulet::pipeline

@@ -182,7 +182,7 @@ CampaignScheduler::run()
     const double measured =
         stats.times.startupSec + stats.times.simulateSec +
         stats.times.traceExtractSec + stats.times.testGenSec +
-        stats.times.ctraceSec;
+        stats.times.ctraceSec + stats.times.filterSec;
     stats.times.otherSec = stats.wallSeconds * jobs - measured;
     if (stats.times.otherSec < 0)
         stats.times.otherSec = 0;

@@ -1,11 +1,5 @@
 #include "runtime/shard_executor.hh"
 
-#include "core/analyzer.hh"
-#include "core/generator.hh"
-#include "core/input_gen.hh"
-#include "core/signature.hh"
-#include "isa/disasm.hh"
-
 namespace amulet::runtime
 {
 
@@ -13,240 +7,19 @@ ShardExecutor::ShardExecutor(const core::CampaignConfig &cfg,
                              Clock::time_point t0)
     : cfg_(cfg), harness_(cfg.harness), model_(cfg.contract),
       canonicalCtx_(harness_.saveContext()), // boots the simulator
-      t0_(t0)
+      t0_(t0), stages_(pipeline::ProgramPipeline::standard())
 {
 }
 
 ProgramOutcome
 ShardExecutor::runProgram(unsigned p, Rng prog_rng)
 {
-    using namespace amulet::core;
-
-    ProgramOutcome out;
-    // Pre-split stream state, captured before any draw: with it, a
-    // journaled record can re-derive this whole program offline.
-    const Rng::State stream_state = prog_rng.state();
-    Rng gen_rng = prog_rng.split();
-    Rng input_rng = prog_rng.split();
-    Rng mutate_rng = prog_rng.split();
-    InputGenerator input_gen(cfg_.inputs, input_rng);
-
-    // Canonical start: predictor state does not leak across programs, so
-    // the outcome is independent of which worker ran the previous one.
-    harness_.restoreContext(canonicalCtx_);
-
-    const auto all_formats = executor::allTraceFormats();
-
-    // --- Test generation -------------------------------------------------
-    auto t_gen = Clock::now();
-    ProgramGenerator generator(cfg_.gen, gen_rng);
-    const isa::Program prog = generator.generate();
-    const isa::FlatProgram fp(prog, cfg_.harness.map.codeBase);
-    out.testGenSec += secondsSince(t_gen);
-
-    // --- Inputs + contract traces ----------------------------------------
-    auto t_ct = Clock::now();
-    std::vector<arch::Input> inputs;
-    std::vector<contracts::CTrace> ctraces;
-    std::uint64_t next_id = std::uint64_t{p} * 10000;
-    for (unsigned b = 0; b < cfg_.baseInputsPerProgram; ++b) {
-        arch::Input base = input_gen.generate(next_id++);
-        const contracts::CTrace base_ct =
-            model_.collect(fp, base, cfg_.harness.map);
-        const auto read_offsets =
-            model_.archReadOffsets(fp, base, cfg_.harness.map);
-
-        // Contract-dead registers: registers whose value does not
-        // influence the contract trace. Siblings may mutate them
-        // (that is how register-secret leaks such as SpecLFB UV6
-        // become reachable) — unless the contract exposes initial
-        // register values (ARCH-SEQ), in which case inputs of one
-        // class keep identical registers, as in the paper.
-        std::vector<unsigned> dead_regs;
-        if (!cfg_.contract.exposeInitialRegs && cfg_.regMutationPct > 0) {
-            for (unsigned r = 0; r < isa::kNumRegs; ++r) {
-                if (r == isa::regIndex(isa::kSandboxBaseReg) ||
-                    r == isa::regIndex(isa::Reg::Rsp)) {
-                    continue;
-                }
-                arch::Input probe = base;
-                probe.regs[r] ^= 0x5a5a5a5a5a5aULL;
-                if (model_.collect(fp, probe, cfg_.harness.map) ==
-                    base_ct) {
-                    dead_regs.push_back(r);
-                }
-            }
-        }
-
-        inputs.push_back(base);
-        ctraces.push_back(base_ct);
-        for (unsigned s = 0; s < cfg_.siblingsPerBase; ++s) {
-            arch::Input sib =
-                input_gen.sibling(base, read_offsets, next_id++);
-            if (!dead_regs.empty() &&
-                mutate_rng.chance(cfg_.regMutationPct, 100)) {
-                arch::Input mutated = sib;
-                for (unsigned r : dead_regs) {
-                    if (mutate_rng.chance(1, 2))
-                        mutated.regs[r] = mutate_rng.next();
-                }
-                // Joint mutation can still interact (e.g. two dead
-                // registers combining into a live value); keep the
-                // mutation only if the model confirms equivalence.
-                if (model_.collect(fp, mutated, cfg_.harness.map) ==
-                    base_ct) {
-                    sib = std::move(mutated);
-                }
-            }
-            const contracts::CTrace sib_ct =
-                model_.collect(fp, sib, cfg_.harness.map);
-            inputs.push_back(std::move(sib));
-            ctraces.push_back(sib_ct);
-        }
-    }
-    out.ctraceSec += secondsSince(t_ct);
-
-    // --- Execute on the simulator ----------------------------------------
-    harness_.loadProgram(&fp);
-    std::vector<executor::UTrace> traces;
-    std::vector<executor::UarchContext> contexts;
-    std::vector<std::vector<executor::UTrace>> extra_traces;
-    for (const arch::Input &input : inputs) {
-        contexts.push_back(harness_.saveContext());
-        auto run_out = harness_.runInput(input);
-        if (run_out.run.hitCycleCap) {
-            // Pathological program; skip (counted nowhere).
-            return out;
-        }
-        traces.push_back(std::move(run_out.trace));
-        if (cfg_.collectAllFormats) {
-            std::vector<executor::UTrace> extras;
-            for (auto fmt : all_formats)
-                extras.push_back(harness_.extractExtra(fmt));
-            extra_traces.push_back(std::move(extras));
-        }
-    }
-    out.ran = true;
-    out.testCases = inputs.size();
-
-    // --- Relational analysis ---------------------------------------------
-    const EquivalenceClasses classes = groupByCTrace(ctraces);
-    out.effectiveClasses = classes.effectiveClasses();
-    const AnalysisResult analysis = findCandidates(classes, traces);
-    out.violatingTestCases = analysis.violatingTestCases;
-
-    if (cfg_.collectAllFormats) {
-        // Per-format tallies are *validated*: a same-class difference
-        // only counts if it persists when the pair is re-run under a
-        // common μarch context. Without this, context-sensitive
-        // formats (BP state above all) flag nearly every input pair,
-        // which is exactly the extra-validation cost Table 5 reports.
-        const std::size_t baseline_idx = 0; // L1dTlb is first
-        for (const auto &cls : classes.classes) {
-            if (cls.size() < 2)
-                continue;
-            const std::size_t rep = cls.front();
-            for (std::size_t i = 1; i < cls.size(); ++i) {
-                const std::size_t idx = cls[i];
-                bool any_diff = false;
-                for (std::size_t f = 0; f < all_formats.size(); ++f) {
-                    if (!(extra_traces[idx][f] == extra_traces[rep][f])) {
-                        any_diff = true;
-                        break;
-                    }
-                }
-                if (!any_diff)
-                    continue;
-                // One validation pair for all formats at once.
-                harness_.restoreContext(contexts[idx]);
-                harness_.runInput(inputs[rep]);
-                std::vector<executor::UTrace> rep_under_idx;
-                for (auto fmt : all_formats)
-                    rep_under_idx.push_back(harness_.extractExtra(fmt));
-                harness_.restoreContext(contexts[rep]);
-                harness_.runInput(inputs[idx]);
-                std::vector<executor::UTrace> idx_under_rep;
-                for (auto fmt : all_formats)
-                    idx_under_rep.push_back(harness_.extractExtra(fmt));
-                out.validationRuns += 2;
-
-                auto confirmed = [&](std::size_t f) {
-                    if (extra_traces[idx][f] == extra_traces[rep][f])
-                        return false;
-                    return !(rep_under_idx[f] == extra_traces[idx][f]) ||
-                           !(idx_under_rep[f] == extra_traces[rep][f]);
-                };
-                const bool base_confirmed = confirmed(baseline_idx);
-                for (std::size_t f = 0; f < all_formats.size(); ++f) {
-                    if (!confirmed(f))
-                        continue;
-                    core::FormatTally &tally =
-                        out.formatTallies[all_formats[f]];
-                    ++tally.violatingTestCases;
-                    if (base_confirmed)
-                        ++tally.coveredByBaseline;
-                }
-            }
-        }
-    }
-
-    // --- Validation (context swap) + recording ----------------------------
-    for (const CandidatePair &cand : analysis.candidates) {
-        ++out.candidateViolations;
-        // Re-run each input under the other's starting μarch context
-        // (§3.2). The violation is confirmed when the inputs remain
-        // distinguishable under at least one *common* context: a pure
-        // initial-context artifact makes both same-context pairs
-        // equal, whereas a genuine leak that depends on predictor
-        // state (e.g. Spectre-v4 under a trained memory-dependence
-        // predictor) still differs under one of them.
-        harness_.restoreContext(contexts[cand.b]);
-        const auto a_under_b = harness_.runInput(inputs[cand.a]);
-        harness_.restoreContext(contexts[cand.a]);
-        const auto b_under_a = harness_.runInput(inputs[cand.b]);
-        out.validationRuns += 2;
-        const bool persists = !(a_under_b.trace == traces[cand.b]) ||
-                              !(b_under_a.trace == traces[cand.a]);
-        if (!persists)
-            continue;
-
-        ++out.confirmedViolations;
-        const double t_detect = secondsSince(t0_);
-        if (out.firstDetectSeconds < 0)
-            out.firstDetectSeconds = t_detect;
-
-        std::string signature = "unclassified";
-        if (cfg_.collectSignatures) {
-            signature =
-                classifyViolation(harness_, fp, inputs[cand.a],
-                                  inputs[cand.b], contexts[cand.a],
-                                  contexts[cand.b]);
-        }
-        ++out.signatureCounts[signature];
-
-        if (out.records.size() < cfg_.maxViolationsRecorded) {
-            ViolationRecord rec;
-            rec.defenseName =
-                defense::defenseKindName(cfg_.harness.defense.kind);
-            rec.contractName = cfg_.contract.name;
-            rec.programText = isa::formatProgram(prog);
-            rec.programIndex = p;
-            rec.inputA = inputs[cand.a];
-            rec.inputB = inputs[cand.b];
-            rec.traceA = traces[cand.a];
-            rec.traceB = traces[cand.b];
-            rec.ctxA = contexts[cand.a];
-            rec.ctxB = contexts[cand.b];
-            rec.ctraceHash = contracts::hashCTrace(ctraces[cand.a]);
-            rec.signature = signature;
-            rec.detectSeconds = t_detect;
-            rec.rngState = stream_state;
-            out.records.push_back(std::move(rec));
-        }
-        if (cfg_.stopAtFirstViolation)
-            break;
-    }
-    return out;
+    pipeline::ProgramPlan plan =
+        pipeline::ProgramPlan::forProgram(p, std::move(prog_rng));
+    pipeline::StageContext ctx{cfg_, harness_, model_, canonicalCtx_,
+                               t0_};
+    stages_.run(ctx, plan);
+    return std::move(plan.outcome);
 }
 
 } // namespace amulet::runtime

@@ -1,18 +1,17 @@
 /**
  * @file
- * Per-worker campaign pipeline.
+ * Per-worker campaign pipeline driver.
  *
  * A ShardExecutor owns one simulator harness plus one leakage model and
- * runs the full generate → contract-trace → execute → analyze → validate
- * pipeline for one test program at a time. Determinism contract: a
- * program's outcome is a pure function of (config, program index,
- * program RNG stream) —
+ * drives the staged per-program pipeline (src/pipeline/) for one test
+ * program at a time. Determinism contract: a program's outcome is a
+ * pure function of (config, program index, program RNG stream) —
  *
  *  - all randomness comes from the per-program Rng stream handed in by
  *    the scheduler (pre-split from the campaign seed in program order),
  *  - the predictor state (branch + memory-dependence) is restored to the
- *    canonical post-boot context before every program, and the harness
- *    already canonicalizes caches/TLB between inputs,
+ *    canonical post-boot context before every program's execution, and
+ *    the harness already canonicalizes caches/TLB between inputs,
  *
  * so any worker may run any program and the merged campaign result is
  * independent of the worker count and of scheduling order.
@@ -27,19 +26,20 @@
 #include "contracts/leakage_model.hh"
 #include "core/campaign.hh"
 #include "executor/sim_harness.hh"
+#include "pipeline/pipeline.hh"
 #include "runtime/violation_sink.hh"
 
 namespace amulet::runtime
 {
 
 /** Campaign wall clock (detection timestamps, time breakdowns). */
-using Clock = std::chrono::steady_clock;
+using Clock = pipeline::Clock;
 
 /** Seconds elapsed since @p t0. */
 inline double
 secondsSince(Clock::time_point t0)
 {
-    return std::chrono::duration<double>(Clock::now() - t0).count();
+    return pipeline::secondsSince(t0);
 }
 
 /** One worker's private pipeline state. */
@@ -68,6 +68,7 @@ class ShardExecutor
     contracts::LeakageModel model_;
     executor::UarchContext canonicalCtx_; ///< post-boot predictor state
     Clock::time_point t0_;
+    pipeline::ProgramPipeline stages_;
 };
 
 } // namespace amulet::runtime

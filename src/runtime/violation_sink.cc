@@ -54,7 +54,9 @@ ViolationSink::snapshotReported() const
         const ProgramOutcome &out = outcomes_[p];
         ProgramOutcome copy;
         copy.ran = out.ran;
+        copy.skippedProgram = out.skippedProgram;
         copy.testCases = out.testCases;
+        copy.filteredTestCases = out.filteredTestCases;
         copy.effectiveClasses = out.effectiveClasses;
         copy.candidateViolations = out.candidateViolations;
         copy.validationRuns = out.validationRuns;
@@ -63,6 +65,7 @@ ViolationSink::snapshotReported() const
         copy.firstDetectSeconds = out.firstDetectSeconds;
         copy.testGenSec = out.testGenSec;
         copy.ctraceSec = out.ctraceSec;
+        copy.filterSec = out.filterSec;
         copy.signatureCounts = out.signatureCounts;
         copy.formatTallies = out.formatTallies;
         // records intentionally omitted (see header).
@@ -87,10 +90,16 @@ ViolationSink::finalize() const
     for (const ProgramOutcome &out : outcomes_) {
         stats.times.testGenSec += out.testGenSec;
         stats.times.ctraceSec += out.ctraceSec;
+        stats.times.filterSec += out.filterSec;
+        // Skips are counted whether or not the program's counters merge
+        // (a cycle-cap abort has ran == false but is still a skip).
+        if (out.skippedProgram)
+            ++stats.skippedPrograms;
         if (!out.ran)
             continue;
         ++stats.programs;
         stats.testCases += out.testCases;
+        stats.filteredTestCases += out.filteredTestCases;
         stats.effectiveClasses += out.effectiveClasses;
         stats.candidateViolations += out.candidateViolations;
         stats.validationRuns += out.validationRuns;

@@ -31,25 +31,10 @@
 namespace amulet::runtime
 {
 
-/** Everything one program run contributes to campaign stats. */
-struct ProgramOutcome
-{
-    /** False when the program was skipped (pathological / cycle cap). */
-    bool ran = false;
-
-    std::uint64_t testCases = 0;
-    std::uint64_t effectiveClasses = 0;
-    std::uint64_t candidateViolations = 0;
-    std::uint64_t validationRuns = 0;
-    std::uint64_t violatingTestCases = 0;
-    std::uint64_t confirmedViolations = 0;
-    double firstDetectSeconds = -1; ///< campaign-relative; <0: none
-    double testGenSec = 0;
-    double ctraceSec = 0;
-    std::vector<core::ViolationRecord> records;
-    std::map<std::string, std::uint64_t> signatureCounts;
-    std::map<executor::TraceFormat, core::FormatTally> formatTallies;
-};
+/** The per-program stats unit the sink merges. Defined in core (it is
+ *  the product of the src/pipeline/ stages); aliased here because the
+ *  runtime and corpus layers historically name it through runtime::. */
+using ProgramOutcome = core::ProgramOutcome;
 
 /** Thread-safe, order-insensitive campaign-stats merger. */
 class ViolationSink

@@ -143,6 +143,7 @@ TEST(ViolationSink, SkippedProgramsAreNotCounted)
     ran.testCases = 30;
     sink.report(0, std::move(ran));
     runtime::ProgramOutcome skipped; // cycle-cap path: ran stays false
+    skipped.skippedProgram = true;
     skipped.testGenSec = 0.5;
     sink.report(1, std::move(skipped));
     // Program 2 never reported (e.g. stop-first cut the campaign short).
@@ -150,9 +151,39 @@ TEST(ViolationSink, SkippedProgramsAreNotCounted)
     const auto stats = sink.finalize();
     EXPECT_EQ(stats.programs, 1u);
     EXPECT_EQ(stats.testCases, 30u);
+    // A cycle-cap abort merges no counters but is counted as a skip —
+    // pre-pipeline these programs were counted nowhere.
+    EXPECT_EQ(stats.skippedPrograms, 1u);
     // Generation time of skipped programs still shows up in the
     // breakdown; their test cases do not.
     EXPECT_DOUBLE_EQ(stats.times.testGenSec, 0.5);
+}
+
+TEST(ViolationSink, FilterCountersMergeAndFullyFilteredProgramsCount)
+{
+    runtime::ViolationSink sink(2, 8);
+    // A fully-filtered program: completed deterministically (ran), all
+    // inputs dropped, simulator skipped.
+    runtime::ProgramOutcome filtered;
+    filtered.ran = true;
+    filtered.skippedProgram = true;
+    filtered.testCases = 30;
+    filtered.filteredTestCases = 30;
+    filtered.filterSec = 0.25;
+    sink.report(0, std::move(filtered));
+    runtime::ProgramOutcome partial;
+    partial.ran = true;
+    partial.testCases = 30;
+    partial.filteredTestCases = 5;
+    sink.report(1, std::move(partial));
+
+    const auto stats = sink.finalize();
+    EXPECT_EQ(stats.programs, 2u);
+    EXPECT_EQ(stats.skippedPrograms, 1u);
+    EXPECT_EQ(stats.testCases, 60u);
+    EXPECT_EQ(stats.filteredTestCases, 35u);
+    EXPECT_EQ(stats.simInputRuns(), 25u);
+    EXPECT_DOUBLE_EQ(stats.times.filterSec, 0.25);
 }
 
 TEST(WorkerPool, RunsEverySubmittedJob)
