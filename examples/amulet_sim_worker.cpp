@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Out-of-process simulator worker: the executable half of the
+ * SubprocessBackend (src/executor/backend_subprocess.hh).
+ *
+ * Speaks the JSONL protocol of src/executor/sim_protocol.hh on
+ * stdin/stdout: one request line in, one reply line out, until EOF or
+ * an "exit" op. The worker owns exactly one SimHarness, configured by
+ * the "hello" message; programs arrive as disassembly and are reparsed
+ * through the assembler — the same round trip the violation corpus
+ * relies on.
+ *
+ * Test hook: AMULET_SIM_WORKER_CRASH_AFTER=N makes the worker die
+ * (exit 42) when it receives its (N+1)-th state-mutating operation
+ * (batch/run/classify), *before* executing it. tests/test_backend.cc
+ * uses this to prove that backend crash recovery reproduces an
+ * uninterrupted campaign byte for byte.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "core/signature.hh"
+#include "corpus/serde.hh"
+#include "executor/sim_harness.hh"
+#include "executor/sim_protocol.hh"
+#include "isa/assembler.hh"
+
+namespace
+{
+
+using namespace amulet;
+using corpus::Json;
+using executor::protocol::errorReply;
+using executor::protocol::okReply;
+
+struct Worker
+{
+    std::optional<executor::SimHarness> harness;
+    std::optional<isa::Program> program; ///< keeps the source alive
+    std::optional<isa::FlatProgram> flat;
+    unsigned long crashAfter = 0; ///< 0: never (test hook)
+    unsigned long mutatingOps = 0;
+
+    executor::SimHarness &
+    sim()
+    {
+        if (!harness)
+            throw std::runtime_error("no hello received yet");
+        return *harness;
+    }
+
+    /** Count a state-mutating op; fire the crash-injection hook. */
+    void
+    mutatingOp()
+    {
+        if (crashAfter > 0 && ++mutatingOps > crashAfter)
+            std::_Exit(42);
+    }
+
+    Json
+    handle(const Json &req)
+    {
+        const std::string &op = req.at("op").asStr();
+        if (op == "hello") {
+            const unsigned version = req.at("version").asUnsigned();
+            if (version != executor::protocol::kProtocolVersion) {
+                return errorReply("protocol version mismatch: got " +
+                                  std::to_string(version));
+            }
+            harness.emplace(corpus::harnessFromJson(req.at("harness")));
+            return okReply();
+        }
+        if (op == "load") {
+            program = isa::assemble(req.at("program").asStr());
+            flat.emplace(*program, sim().config().map.codeBase);
+            sim().loadProgram(&*flat);
+            return okReply();
+        }
+        if (op == "save") {
+            Json reply = okReply();
+            reply.set("ctx", corpus::toJson(sim().saveContext()));
+            return reply;
+        }
+        if (op == "restore") {
+            sim().restoreContext(corpus::contextFromJson(req.at("ctx")));
+            return okReply();
+        }
+        if (op == "batch") {
+            mutatingOp();
+            std::vector<arch::Input> inputs;
+            for (const Json &i : req.at("inputs").items())
+                inputs.push_back(corpus::inputFromJson(i));
+            std::vector<const arch::Input *> batch;
+            batch.reserve(inputs.size());
+            for (const arch::Input &input : inputs)
+                batch.push_back(&input);
+            std::optional<std::vector<executor::TraceFormat>> extras;
+            if (const Json *e = req.find("extras"))
+                extras = executor::protocol::traceFormatsFromJson(*e);
+            const auto out =
+                sim().runBatch(batch, extras ? &*extras : nullptr);
+            const Json body = executor::protocol::batchOutputToJson(out);
+            Json reply = okReply();
+            for (const auto &[key, value] : body.members())
+                reply.set(key, value);
+            reply.set("endCtx", corpus::toJson(sim().saveContext()));
+            // Cumulative breakdown rides along so the parent loses at
+            // most one operation's worth of timing when this worker
+            // later dies (backend_subprocess times accounting).
+            reply.set("times",
+                      executor::protocol::timesToJson(sim().times()));
+            return reply;
+        }
+        if (op == "run") {
+            mutatingOp();
+            const arch::Input input =
+                corpus::inputFromJson(req.at("input"));
+            const auto out = sim().runInput(input);
+            Json reply = okReply();
+            reply.set("trace", corpus::toJson(out.trace));
+            reply.set("hitCycleCap",
+                      Json::boolean(out.run.hitCycleCap));
+            Json extra_traces = Json::array();
+            if (const Json *e = req.find("extras")) {
+                for (executor::TraceFormat fmt :
+                     executor::protocol::traceFormatsFromJson(*e)) {
+                    extra_traces.push(
+                        corpus::toJson(sim().extractExtra(fmt)));
+                }
+            }
+            reply.set("extras", std::move(extra_traces));
+            reply.set("endCtx", corpus::toJson(sim().saveContext()));
+            // Cumulative breakdown rides along so the parent loses at
+            // most one operation's worth of timing when this worker
+            // later dies (backend_subprocess times accounting).
+            reply.set("times",
+                      executor::protocol::timesToJson(sim().times()));
+            return reply;
+        }
+        if (op == "classify") {
+            mutatingOp();
+            if (!flat)
+                return errorReply("classify with no loaded program");
+            const std::string signature = core::classifyViolation(
+                sim(), *flat, corpus::inputFromJson(req.at("inputA")),
+                corpus::inputFromJson(req.at("inputB")),
+                corpus::contextFromJson(req.at("ctxA")),
+                corpus::contextFromJson(req.at("ctxB")));
+            Json reply = okReply();
+            reply.set("signature", Json::str(signature));
+            reply.set("endCtx", corpus::toJson(sim().saveContext()));
+            // Cumulative breakdown rides along so the parent loses at
+            // most one operation's worth of timing when this worker
+            // later dies (backend_subprocess times accounting).
+            reply.set("times",
+                      executor::protocol::timesToJson(sim().times()));
+            return reply;
+        }
+        if (op == "times") {
+            Json reply = okReply();
+            reply.set("times",
+                      executor::protocol::timesToJson(sim().times()));
+            return reply;
+        }
+        return errorReply("unknown op: " + op);
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    Worker worker;
+    if (const char *env = std::getenv("AMULET_SIM_WORKER_CRASH_AFTER"))
+        worker.crashAfter = std::strtoul(env, nullptr, 10);
+
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        if (line.empty())
+            continue;
+        Json reply;
+        bool exiting = false;
+        std::string op = "?";
+        try {
+            const Json req = Json::parse(line);
+            op = req.at("op").asStr();
+            if (op == "exit") {
+                reply = okReply();
+                exiting = true;
+            } else {
+                reply = worker.handle(req);
+            }
+        } catch (const std::exception &e) {
+            reply = errorReply("op " + op + ": " + e.what());
+        }
+        const std::string text = reply.dump();
+        std::fwrite(text.data(), 1, text.size(), stdout);
+        std::fputc('\n', stdout);
+        std::fflush(stdout);
+        if (exiting)
+            return 0;
+    }
+    return 0;
+}

@@ -35,6 +35,7 @@
 #include "corpus/corpus_store.hh"
 #include "corpus/replayer.hh"
 #include "corpus/serde.hh"
+#include "executor/backend.hh"
 #include "isa/disasm.hh"
 
 namespace
@@ -59,6 +60,9 @@ usage(const char *argv0)
         "  --pages N         sandbox pages (default 1; STT uses 128)\n"
         "  --seed N          RNG seed (default 1)\n"
         "  --jobs N          worker threads (default 1; 0 = all cores)\n"
+        "  --backend NAME    executor backend: inproc|async|subprocess\n"
+        "                    (default inproc; results are identical, see "
+        "--list)\n"
         "  --ways N          L1D ways (amplification)\n"
         "  --mshrs N         L1D MSHRs (amplification)\n"
         "  --boot-insts N    simulator boot-program length (default "
@@ -74,8 +78,31 @@ usage(const char *argv0)
         "  --resume          continue from DIR's checkpoint\n"
         "  --checkpoint-every N   programs per checkpoint (default 8)\n"
         "  --max-programs N  stop after N programs this process "
-        "(resumable)\n",
+        "(resumable)\n"
+        "discovery:\n"
+        "  --list            print every defense, contract, trace format "
+        "and backend\n",
         argv0, argv0, argv0, argv0);
+}
+
+/** Flag-value discovery: every name each selector flag accepts. */
+void
+listChoices()
+{
+    std::printf("defenses (--defense):");
+    for (amulet::defense::DefenseKind kind :
+         amulet::defense::allDefenseKinds())
+        std::printf(" %s", amulet::defense::defenseKindName(kind));
+    std::printf("\ncontracts (--contract):");
+    for (const auto &contract : amulet::contracts::allContracts())
+        std::printf(" %s", contract.name.c_str());
+    std::printf("\ntrace formats (--trace):");
+    for (auto format : amulet::executor::allTraceFormats())
+        std::printf(" %s", amulet::corpus::traceFormatToken(format));
+    std::printf("\nbackends (--backend):");
+    for (auto backend : amulet::executor::allBackendKinds())
+        std::printf(" %s", amulet::executor::backendKindName(backend));
+    std::printf("\n");
 }
 
 /**
@@ -321,6 +348,9 @@ main(int argc, char **argv)
         if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
+        } else if (arg == "--list") {
+            listChoices();
+            return 0;
         } else if (arg[0] != '-') {
             positional.push_back(arg);
         } else if (arg == "--defense") {
@@ -366,6 +396,22 @@ main(int argc, char **argv)
         } else if (arg == "--jobs") {
             only("run");
             cfg.jobs = parseU32("--jobs", next());
+        } else if (arg == "--backend") {
+            only("run");
+            const char *name = next();
+            auto b = executor::parseBackendKind(name);
+            if (!b) {
+                std::fprintf(stderr,
+                             "campaign_cli: unknown backend '%s' "
+                             "(valid:",
+                             name);
+                for (auto kind : executor::allBackendKinds())
+                    std::fprintf(stderr, " %s",
+                                 executor::backendKindName(kind));
+                std::fprintf(stderr, ")\n");
+                return 2;
+            }
+            cfg.backend = *b;
         } else if (arg == "--ways") {
             only("run");
             cfg.harness.core.l1d.ways = parseU32("--ways", next());
@@ -451,13 +497,15 @@ main(int argc, char **argv)
     cfg.inputs.map = cfg.harness.map;
 
     std::printf("campaign: defense=%s%s contract=%s trace=%s programs=%u "
-                "inputs=%u x %u pages=%u seed=%llu jobs=%u%s%s%s%s%s\n\n",
+                "inputs=%u x %u pages=%u seed=%llu jobs=%u "
+                "backend=%s%s%s%s%s%s\n\n",
                 defense::defenseKindName(kind), patched ? " (patched)" : "",
                 cfg.contract.name.c_str(),
                 executor::traceFormatName(cfg.harness.traceFormat),
                 cfg.numPrograms, cfg.baseInputsPerProgram,
                 1 + cfg.siblingsPerBase, cfg.harness.map.sandboxPages,
                 static_cast<unsigned long long>(cfg.seed), cfg.jobs,
+                executor::backendKindName(cfg.backend),
                 cfg.filterIneffective ? "" : " NOFILTER",
                 cfg.harness.naiveMode ? " NAIVE" : "",
                 cfg.corpusDir.empty() ? "" : " corpus=",

@@ -30,6 +30,11 @@ if "${CLI}" --no-such-flag > /dev/null 2>&1; then
   echo "FAIL: unknown flag must exit nonzero" >&2
   exit 1
 fi
+if "${CLI}" --backend warp > /dev/null 2>&1; then
+  echo "FAIL: unknown backend must exit nonzero" >&2
+  exit 1
+fi
+"${CLI}" --list | grep -q "backends (--backend): inproc async subprocess"
 
 echo "--- corpus smoke: uninterrupted reference run"
 "${CLI}" "${CAMPAIGN[@]}" --corpus-dir "${SMOKE}/full" --jobs 2 > /dev/null
@@ -98,9 +103,46 @@ fi
 
 echo "filter smoke: OK"
 
-# --- Throughput canary: table3 filter ablation -------------------------------
-# Scaled-down table3 run printing the before/after tests/s line, so perf
-# regressions in the filter/batching path are visible in CI logs.
-echo "--- table3 throughput (filter off -> on)"
+# --- Backend smoke: inproc/async/subprocess must export identically ----------
+# The backend equivalence contract (src/executor/backend.hh): for a fixed
+# (config, seed), corpus exports are byte-identical across every backend —
+# the simulator may run in-thread, behind a simulation thread, or in a
+# forked amulet_sim_worker process without moving a single record byte.
+
+echo "--- backend smoke: inproc/async/subprocess export equivalence"
+for b in inproc async subprocess; do
+  "${CLI}" "${CAMPAIGN[@]}" --backend "$b" --corpus-dir "${SMOKE}/be_$b" \
+      --jobs 2 > /dev/null
+  "${CLI}" export --corpus-dir "${SMOKE}/be_$b" \
+      --out "${SMOKE}/be_$b.jsonl" > /dev/null
+done
+test "$(wc -l < "${SMOKE}/be_inproc.jsonl")" -gt 1
+cmp "${SMOKE}/be_inproc.jsonl" "${SMOKE}/be_async.jsonl"
+cmp "${SMOKE}/be_inproc.jsonl" "${SMOKE}/be_subprocess.jsonl"
+# The corpus workflows accept either backend transparently: the knob is
+# runtime-only (like --jobs), so the reference corpus from the smoke above
+# resumes and replays under a different backend.
+"${CLI}" replay --corpus-dir "${SMOKE}/be_subprocess" > /dev/null
+
+echo "--- backend smoke: killed workers must not change the campaign"
+AMULET_SIM_WORKER_CRASH_AFTER=3 \
+    "${CLI}" "${CAMPAIGN[@]}" --backend subprocess \
+    --corpus-dir "${SMOKE}/be_crash" --jobs 2 > /dev/null
+"${CLI}" export --corpus-dir "${SMOKE}/be_crash" \
+    --out "${SMOKE}/be_crash.jsonl" > /dev/null
+cmp "${SMOKE}/be_inproc.jsonl" "${SMOKE}/be_crash.jsonl"
+
+echo "backend smoke: OK"
+
+# --- Throughput canary: table3 filter + backend ablations --------------------
+# Scaled-down table3 run printing the before/after tests/s lines, so perf
+# regressions in the filter/batching/backend paths are visible in CI logs.
+echo "--- table3 throughput (filter off -> on, inproc -> async)"
 AMULET_BENCH_SCALE="${AMULET_BENCH_SCALE:-0.2}" \
-    ./build/bench/table3_baseline_campaign | grep -A 2 "filter ablation"
+    ./build/bench/table3_baseline_campaign > "${SMOKE}/table3.txt"
+grep -A 2 "filter ablation" "${SMOKE}/table3.txt"
+grep -A 2 "backend ablation" "${SMOKE}/table3.txt"
+if grep -q "DIVERGED" "${SMOKE}/table3.txt"; then
+  echo "FAIL: async backend changed campaign verdicts" >&2
+  exit 1
+fi

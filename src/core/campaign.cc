@@ -39,6 +39,7 @@ CampaignStats::report() const
        << "unique violations:   " << uniqueViolations() << "\n"
        << "wall seconds:        " << wallSeconds << "\n"
        << "jobs (shards):       " << jobs << "\n"
+       << "backend:             " << backend << "\n"
        << "throughput:          " << throughput() << " tests/s\n"
        << "per-shard rate:      " << perShardThroughput()
        << " tests/s\n";

@@ -22,6 +22,7 @@
 #include "core/generator.hh"
 #include "core/input_gen.hh"
 #include "core/violation.hh"
+#include "executor/backend.hh"
 #include "executor/sim_harness.hh"
 
 namespace amulet::core
@@ -59,6 +60,15 @@ struct CampaignConfig
      *  stopAtFirstViolation with jobs>1, where the set of programs that
      *  run before the stop flag lands is timing-dependent. */
     unsigned jobs = 1;
+
+    /** Executor backend every shard constructs (src/executor/): in the
+     *  worker thread (default), behind a dedicated simulation thread
+     *  (async), or in a forked amulet_sim_worker process (subprocess).
+     *  A runtime knob like jobs — excluded from the corpus config
+     *  fingerprint; confirmed violations, signatures, counters, and
+     *  records are byte-identical across every (jobs, backend) pair
+     *  (tests/test_backend.cc). */
+    executor::BackendKind backend = executor::BackendKind::InProcess;
 
     bool stopAtFirstViolation = false;
     bool collectSignatures = true;
@@ -149,6 +159,7 @@ struct CampaignStats
     double wallSeconds = 0;
     double firstDetectSeconds = -1; ///< <0: nothing detected
     unsigned jobs = 1;              ///< worker shards the campaign ran on
+    std::string backend = "inproc"; ///< executor backend the shards used
     /** Programs restored from a corpus checkpoint rather than run. */
     unsigned resumedPrograms = 0;
     executor::TimeBreakdown times;

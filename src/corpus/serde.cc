@@ -581,20 +581,6 @@ u64ArrayFromJson(const Json &json)
     return out;
 }
 
-// Stable machine tokens (display names like "BP state" do not reparse).
-const char *
-traceFormatToken(executor::TraceFormat format)
-{
-    switch (format) {
-      case executor::TraceFormat::L1dTlb:          return "l1dtlb";
-      case executor::TraceFormat::L1dTlbL1i:       return "l1dtlbl1i";
-      case executor::TraceFormat::BpState:         return "bpstate";
-      case executor::TraceFormat::MemAccessOrder:  return "memorder";
-      case executor::TraceFormat::BranchPredOrder: return "branchorder";
-    }
-    return "?";
-}
-
 executor::TraceFormat
 traceFormatFromToken(const std::string &token)
 {
@@ -607,6 +593,19 @@ traceFormatFromToken(const std::string &token)
 } // namespace
 
 // === Building blocks =======================================================
+
+const char *
+traceFormatToken(executor::TraceFormat format)
+{
+    switch (format) {
+      case executor::TraceFormat::L1dTlb:          return "l1dtlb";
+      case executor::TraceFormat::L1dTlbL1i:       return "l1dtlbl1i";
+      case executor::TraceFormat::BpState:         return "bpstate";
+      case executor::TraceFormat::MemAccessOrder:  return "memorder";
+      case executor::TraceFormat::BranchPredOrder: return "branchorder";
+    }
+    return "?";
+}
 
 Json
 toJson(const arch::Input &input)
@@ -1060,24 +1059,44 @@ generatorFromJson(const Json &json, const mem::AddressMap &map)
 } // namespace
 
 Json
-configToJson(const core::CampaignConfig &config)
+harnessToJson(const executor::HarnessConfig &config)
 {
     Json harness = Json::object();
-    harness.set("core", coreToJson(config.harness.core));
-    harness.set("defense", defenseToJson(config.harness.defense));
-    harness.set("map", mapToJson(config.harness.map));
-    harness.set("prime", Json::str(primeModeToken(config.harness.prime)));
+    harness.set("core", coreToJson(config.core));
+    harness.set("defense", defenseToJson(config.defense));
+    harness.set("map", mapToJson(config.map));
+    harness.set("prime", Json::str(primeModeToken(config.prime)));
     harness.set("traceFormat",
-                Json::str(traceFormatToken(config.harness.traceFormat)));
-    harness.set("naiveMode", Json::boolean(config.harness.naiveMode));
+                Json::str(traceFormatToken(config.traceFormat)));
+    harness.set("naiveMode", Json::boolean(config.naiveMode));
     harness.set("tlbPrefill",
-                Json::str(tlbPrefillToken(config.harness.tlbPrefill)));
-    harness.set("bootInsts",
-                Json::number(std::uint64_t{config.harness.bootInsts}));
+                Json::str(tlbPrefillToken(config.tlbPrefill)));
+    harness.set("bootInsts", Json::number(std::uint64_t{config.bootInsts}));
+    return harness;
+}
 
+executor::HarnessConfig
+harnessFromJson(const Json &json)
+{
+    executor::HarnessConfig config;
+    config.core = coreFromJson(json.at("core"));
+    config.defense = defenseFromJson(json.at("defense"));
+    config.map = mapFromJson(json.at("map"));
+    config.prime = primeModeFromToken(json.at("prime").asStr());
+    config.traceFormat =
+        traceFormatFromToken(json.at("traceFormat").asStr());
+    config.naiveMode = json.at("naiveMode").asBool();
+    config.tlbPrefill = tlbPrefillFromToken(json.at("tlbPrefill").asStr());
+    config.bootInsts = json.at("bootInsts").asUnsigned();
+    return config;
+}
+
+Json
+configToJson(const core::CampaignConfig &config)
+{
     Json j = Json::object();
     j.set("version", Json::number(std::uint64_t{kFormatVersion}));
-    j.set("harness", std::move(harness));
+    j.set("harness", harnessToJson(config.harness));
     j.set("contract", contractToJson(config.contract));
     j.set("gen", generatorToJson(config.gen));
     j.set("inputSmallRegPct",
@@ -1112,18 +1131,7 @@ configFromJson(const Json &json)
                           std::to_string(version) + " unsupported");
     }
     core::CampaignConfig config;
-    const Json &harness = json.at("harness");
-    config.harness.core = coreFromJson(harness.at("core"));
-    config.harness.defense = defenseFromJson(harness.at("defense"));
-    config.harness.map = mapFromJson(harness.at("map"));
-    config.harness.prime =
-        primeModeFromToken(harness.at("prime").asStr());
-    config.harness.traceFormat =
-        traceFormatFromToken(harness.at("traceFormat").asStr());
-    config.harness.naiveMode = harness.at("naiveMode").asBool();
-    config.harness.tlbPrefill =
-        tlbPrefillFromToken(harness.at("tlbPrefill").asStr());
-    config.harness.bootInsts = harness.at("bootInsts").asUnsigned();
+    config.harness = harnessFromJson(json.at("harness"));
     config.contract = contractFromJson(json.at("contract"));
     config.gen = generatorFromJson(json.at("gen"), config.harness.map);
     config.inputs.map = config.harness.map;

@@ -116,6 +116,10 @@ class Json
 
 /** @name Building blocks */
 /// @{
+/** Stable machine token for a trace format ("l1dtlb", "bpstate", ...) —
+ *  display names do not reparse; these do (via parseTraceFormat). */
+const char *traceFormatToken(executor::TraceFormat format);
+
 Json toJson(const arch::Input &input);
 arch::Input inputFromJson(const Json &json);
 
@@ -143,12 +147,17 @@ core::ViolationRecord recordFromJson(const Json &json);
 /**
  * @name Campaign configuration
  * Serializes the campaign *definition*: generator/input/harness/contract
- * knobs, scale, and seed. Runtime knobs (jobs, corpus fields) are
- * excluded — they may legally differ between the runs of one corpus.
+ * knobs, scale, and seed. Runtime knobs (jobs, backend, corpus fields)
+ * are excluded — they may legally differ between the runs of one corpus.
  */
 /// @{
 Json configToJson(const core::CampaignConfig &config);
 core::CampaignConfig configFromJson(const Json &json);
+
+/** Harness configuration alone — the subset an out-of-process simulator
+ *  worker needs to reconstruct its SimHarness (executor/sim_protocol). */
+Json harnessToJson(const executor::HarnessConfig &config);
+executor::HarnessConfig harnessFromJson(const Json &json);
 
 /** Stable hex fingerprint of the campaign definition (FNV-1a over the
  *  canonical dump). Checkpoints and journals refuse to mix

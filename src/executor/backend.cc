@@ -1,0 +1,167 @@
+#include "executor/backend.hh"
+
+#include <stdexcept>
+
+#include "core/signature.hh"
+#include "executor/backend_async.hh"
+#include "executor/backend_subprocess.hh"
+
+namespace amulet::executor
+{
+
+// === Backend registry ======================================================
+
+const char *
+backendKindName(BackendKind kind)
+{
+    switch (kind) {
+      case BackendKind::InProcess:  return "inproc";
+      case BackendKind::Async:      return "async";
+      case BackendKind::Subprocess: return "subprocess";
+    }
+    return "?";
+}
+
+std::optional<BackendKind>
+parseBackendKind(const std::string &name)
+{
+    std::string lower;
+    lower.reserve(name.size());
+    for (char c : name)
+        lower += static_cast<char>(
+            c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c);
+    for (BackendKind kind : allBackendKinds()) {
+        if (lower == backendKindName(kind))
+            return kind;
+    }
+    return std::nullopt;
+}
+
+std::vector<BackendKind>
+allBackendKinds()
+{
+    return {BackendKind::InProcess, BackendKind::Async,
+            BackendKind::Subprocess};
+}
+
+// === Default (eager) submit/collect ========================================
+
+SimBackend::Ticket
+SimBackend::submitBatch(const std::vector<const arch::Input *> &batch,
+                        const std::vector<TraceFormat> *extraFormats)
+{
+    const Ticket ticket = nextTicket_++;
+    eagerBatches_.emplace(ticket, dispatchBatch(batch, extraFormats));
+    return ticket;
+}
+
+SimBackend::BatchOutput
+SimBackend::collectBatch(Ticket ticket)
+{
+    auto it = eagerBatches_.find(ticket);
+    if (it == eagerBatches_.end())
+        throw std::logic_error("SimBackend: unknown batch ticket");
+    BatchOutput out = std::move(it->second);
+    eagerBatches_.erase(it);
+    return out;
+}
+
+SimBackend::Ticket
+SimBackend::submitRun(const arch::Input &input,
+                      const std::vector<TraceFormat> *extraFormats)
+{
+    const Ticket ticket = nextTicket_++;
+    eagerRuns_.emplace(ticket, runOne(input, extraFormats));
+    return ticket;
+}
+
+SimBackend::SingleOutput
+SimBackend::collectRun(Ticket ticket)
+{
+    auto it = eagerRuns_.find(ticket);
+    if (it == eagerRuns_.end())
+        throw std::logic_error("SimBackend: unknown run ticket");
+    SingleOutput out = std::move(it->second);
+    eagerRuns_.erase(it);
+    return out;
+}
+
+// === InProcessBackend ======================================================
+
+InProcessBackend::InProcessBackend(const HarnessConfig &config)
+    : harness_(config)
+{
+}
+
+void
+InProcessBackend::loadProgram(const isa::Program &, const isa::FlatProgram &flat)
+{
+    flat_ = &flat;
+    harness_.loadProgram(&flat);
+}
+
+UarchContext
+InProcessBackend::saveContext()
+{
+    return harness_.saveContext();
+}
+
+void
+InProcessBackend::restoreContext(const UarchContext &ctx)
+{
+    harness_.restoreContext(ctx);
+}
+
+SimBackend::BatchOutput
+InProcessBackend::dispatchBatch(const std::vector<const arch::Input *> &batch,
+                                const std::vector<TraceFormat> *extraFormats)
+{
+    return harness_.runBatch(batch, extraFormats);
+}
+
+SimBackend::SingleOutput
+InProcessBackend::runOne(const arch::Input &input,
+                         const std::vector<TraceFormat> *extraFormats)
+{
+    SingleOutput out;
+    SimHarness::RunOutput run = harness_.runInput(input);
+    out.trace = std::move(run.trace);
+    out.hitCycleCap = run.run.hitCycleCap;
+    if (extraFormats) {
+        out.extras.reserve(extraFormats->size());
+        for (TraceFormat fmt : *extraFormats)
+            out.extras.push_back(harness_.extractExtra(fmt));
+    }
+    return out;
+}
+
+std::string
+InProcessBackend::classify(const arch::Input &inputA,
+                           const arch::Input &inputB,
+                           const UarchContext &ctxA, const UarchContext &ctxB)
+{
+    if (!flat_)
+        throw std::logic_error("InProcessBackend: classify with no "
+                               "loaded program");
+    return core::classifyViolation(harness_, *flat_, inputA, inputB, ctxA,
+                                   ctxB);
+}
+
+// === Factory ===============================================================
+
+std::unique_ptr<SimBackend>
+makeBackend(BackendKind kind, const HarnessConfig &config,
+            const BackendOptions &options)
+{
+    switch (kind) {
+      case BackendKind::InProcess:
+        return std::make_unique<InProcessBackend>(config);
+      case BackendKind::Async:
+        return makeAsyncBackend(config);
+      case BackendKind::Subprocess:
+        return makeSubprocessBackend(config, options);
+    }
+    throw std::logic_error("makeBackend: unknown backend kind");
+}
+
+} // namespace amulet::executor

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Executor backend abstraction: the seam between test-case orchestration
+ * and simulator execution.
+ *
+ * The pipeline stages (src/pipeline/) and the shard runtime
+ * (src/runtime/) drive an abstract SimBackend instead of a concrete
+ * SimHarness, so the simulator can live in this thread, behind a
+ * dedicated simulation thread, or in another process — without the
+ * fuzzing loop knowing. Revizor and SpecFuzz draw the same line between
+ * orchestration and execution target; here it is what lets one campaign
+ * definition run against gem5-style out-of-process simulators or remote
+ * shards later.
+ *
+ * Determinism contract: every backend executes the exact same simulator
+ * operation sequence a plain SimHarness would — program loads, context
+ * restores, per-input priming, batch order — so for a fixed
+ * (config, seed), confirmed violations, signatures, counters, and
+ * journaled records are byte-identical across every (jobs, backend)
+ * pair. tests/test_backend.cc enforces this per defense.
+ *
+ * Three backends ship behind makeBackend():
+ *  - InProcessBackend: wraps a SimHarness directly (default; zero
+ *    behavior change).
+ *  - AsyncBackend (backend_async.hh): runs the harness on a dedicated
+ *    simulation thread; submit/collect lets callers overlap test
+ *    generation and analysis with simulator execution.
+ *  - SubprocessBackend (backend_subprocess.hh): forks an
+ *    amulet_sim_worker process and ships whole class batches over a
+ *    stdin/stdout JSONL protocol (sim_protocol.hh), with crash
+ *    detection, worker restart, and an op timeout.
+ */
+
+#ifndef AMULET_EXECUTOR_BACKEND_HH
+#define AMULET_EXECUTOR_BACKEND_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "executor/sim_harness.hh"
+
+namespace amulet::executor
+{
+
+/** Selectable executor backends. */
+enum class BackendKind
+{
+    InProcess,  ///< harness in the calling thread (default)
+    Async,      ///< harness behind a dedicated simulation thread
+    Subprocess, ///< harness in a forked amulet_sim_worker process
+};
+
+/** Stable token ("inproc", "async", "subprocess") — CLI flag values,
+ *  report lines. */
+const char *backendKindName(BackendKind kind);
+
+/** Parse a backend token (case-insensitive). */
+std::optional<BackendKind> parseBackendKind(const std::string &name);
+
+/** All selectable backends, default first. */
+std::vector<BackendKind> allBackendKinds();
+
+/** What a backend supports beyond the synchronous core interface. */
+struct BackendCaps
+{
+    /** submitBatch/submitRun defer work: the caller overlaps its own
+     *  computation with simulator execution. Backends without it run
+     *  submissions eagerly (submit + collect ≡ dispatch). */
+    bool pipelined = false;
+    /** The simulator lives in another process (no shared memory with
+     *  the caller; programs travel as disassembly). */
+    bool outOfProcess = false;
+};
+
+/**
+ * Abstract executor backend. One backend instance is owned by one shard
+ * and driven from that shard's worker thread only; backends are never
+ * shared across workers.
+ *
+ * Batch/run submissions take inputs by pointer; the pointees must stay
+ * valid until the matching collect returns.
+ */
+class SimBackend
+{
+  public:
+    using RunOutput = SimHarness::RunOutput;
+    using BatchOutput = SimHarness::BatchOutput;
+
+    /** Handle for a submitted batch or single run. */
+    using Ticket = std::uint64_t;
+
+    /** Result of one validation-style single run. */
+    struct SingleOutput
+    {
+        UTrace trace;
+        bool hitCycleCap = false;
+        /** One trace per requested extra format, in request order. */
+        std::vector<UTrace> extras;
+    };
+
+    virtual ~SimBackend() = default;
+
+    /** Stable backend token (matches backendKindName). */
+    virtual const char *name() const = 0;
+
+    virtual BackendCaps caps() const = 0;
+
+    /**
+     * Select the test program for subsequent dispatches. @p source is
+     * the program's source listing (out-of-process backends ship it as
+     * disassembly); @p flat is the flattened image in-process backends
+     * execute. Both must outlive every dispatch up to the next load.
+     */
+    virtual void loadProgram(const isa::Program &source,
+                             const isa::FlatProgram &flat) = 0;
+
+    /** @name μarch context (predictor state). Starts the simulator
+     *  first when needed. */
+    /// @{
+    virtual UarchContext saveContext() = 0;
+    virtual void restoreContext(const UarchContext &ctx) = 0;
+    /// @}
+
+    /**
+     * Execute one contract-equivalence-class batch (the dispatch unit,
+     * see SimHarness::runBatch). Synchronous: returns when the whole
+     * batch ran.
+     */
+    virtual BatchOutput
+    dispatchBatch(const std::vector<const arch::Input *> &batch,
+                  const std::vector<TraceFormat> *extraFormats) = 0;
+
+    /**
+     * One validation re-run: the μarch trace of @p input under the
+     * current context (plus any extra formats), without batch
+     * bookkeeping. Equivalent to SimHarness::runInput + extractExtra.
+     */
+    virtual SingleOutput
+    runOne(const arch::Input &input,
+           const std::vector<TraceFormat> *extraFormats) = 0;
+
+    /**
+     * Classify a confirmed violation by signature
+     * (core::classifyViolation): event-logged re-runs of both inputs
+     * under their original contexts, on the loaded program.
+     */
+    virtual std::string classify(const arch::Input &inputA,
+                                 const arch::Input &inputB,
+                                 const UarchContext &ctxA,
+                                 const UarchContext &ctxB) = 0;
+
+    /** @name Pipelined dispatch
+     * Submit work now, collect results later. The default
+     * implementations run eagerly at submit time and only store the
+     * result, preserving the synchronous operation order — correct for
+     * every backend, overlapping for none. Pipelined backends override
+     * these; callers check caps().pipelined before relying on overlap.
+     * Tickets must be collected exactly once, in any order.
+     */
+    /// @{
+    virtual Ticket submitBatch(const std::vector<const arch::Input *> &batch,
+                               const std::vector<TraceFormat> *extraFormats);
+    virtual BatchOutput collectBatch(Ticket ticket);
+    virtual Ticket submitRun(const arch::Input &input,
+                             const std::vector<TraceFormat> *extraFormats);
+    virtual SingleOutput collectRun(Ticket ticket);
+    /// @}
+
+    /** Block until every submitted operation has finished (or been
+     *  abandoned after a failure). Callers must sync before destroying
+     *  state a pending submission points into. */
+    virtual void sync() {}
+
+    /** Harness wall-clock breakdown accumulated so far. Implies
+     *  sync(). */
+    virtual const TimeBreakdown &times() = 0;
+
+  protected:
+    /** Eager-result stores for the default submit/collect. */
+    std::map<Ticket, BatchOutput> eagerBatches_;
+    std::map<Ticket, SingleOutput> eagerRuns_;
+    Ticket nextTicket_ = 1;
+};
+
+/** The default backend: a SimHarness driven from the calling thread. */
+class InProcessBackend final : public SimBackend
+{
+  public:
+    explicit InProcessBackend(const HarnessConfig &config);
+
+    const char *name() const override { return "inproc"; }
+    BackendCaps caps() const override { return {}; }
+
+    void loadProgram(const isa::Program &source,
+                     const isa::FlatProgram &flat) override;
+    UarchContext saveContext() override;
+    void restoreContext(const UarchContext &ctx) override;
+    BatchOutput
+    dispatchBatch(const std::vector<const arch::Input *> &batch,
+                  const std::vector<TraceFormat> *extraFormats) override;
+    SingleOutput runOne(const arch::Input &input,
+                        const std::vector<TraceFormat> *extraFormats) override;
+    std::string classify(const arch::Input &inputA,
+                         const arch::Input &inputB, const UarchContext &ctxA,
+                         const UarchContext &ctxB) override;
+    const TimeBreakdown &times() override { return harness_.times(); }
+
+    /** The wrapped harness (root-cause demos, tests). */
+    SimHarness &harness() { return harness_; }
+
+  private:
+    SimHarness harness_;
+    const isa::FlatProgram *flat_ = nullptr;
+};
+
+/** Backend-construction options beyond the harness config. */
+struct BackendOptions
+{
+    /** amulet_sim_worker executable (subprocess backend); empty: resolve
+     *  via $AMULET_SIM_WORKER, then next to the current executable. */
+    std::string workerPath;
+    /** Per-operation reply timeout for out-of-process workers; a worker
+     *  that stays silent longer is killed and restarted (seconds). */
+    double opTimeoutSec = 600.0;
+};
+
+/** Build a backend for @p kind. Throws std::runtime_error when the kind
+ *  needs a helper this installation lacks (e.g. no amulet_sim_worker
+ *  found). */
+std::unique_ptr<SimBackend> makeBackend(BackendKind kind,
+                                        const HarnessConfig &config,
+                                        const BackendOptions &options = {});
+
+} // namespace amulet::executor
+
+#endif // AMULET_EXECUTOR_BACKEND_HH

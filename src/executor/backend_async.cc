@@ -1,0 +1,289 @@
+#include "executor/backend_async.hh"
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "core/signature.hh"
+
+namespace amulet::executor
+{
+
+namespace
+{
+
+/**
+ * One sim thread draining a FIFO of closures. Results are stored per
+ * sequence number; waiters block on the completion counter, so waiting
+ * for op N implies ops 0..N-1 finished too (queue order = harness
+ * operation order).
+ */
+class AsyncBackend final : public SimBackend
+{
+  public:
+    explicit AsyncBackend(const HarnessConfig &config) : harness_(config)
+    {
+        thread_ = std::thread([this] { simLoop(); });
+    }
+
+    ~AsyncBackend() override
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+    }
+
+    const char *name() const override { return "async"; }
+
+    BackendCaps
+    caps() const override
+    {
+        BackendCaps caps;
+        caps.pipelined = true;
+        return caps;
+    }
+
+    void
+    loadProgram(const isa::Program &, const isa::FlatProgram &flat) override
+    {
+        // Fire-and-forget: any failure surfaces at the next wait point.
+        enqueue([this, &flat](SimHarness &h) {
+            flat_ = &flat;
+            h.loadProgram(&flat);
+        });
+    }
+
+    UarchContext
+    saveContext() override
+    {
+        UarchContext ctx;
+        waitFor(enqueue([&ctx](SimHarness &h) { ctx = h.saveContext(); }));
+        return ctx;
+    }
+
+    void
+    restoreContext(const UarchContext &ctx) override
+    {
+        enqueue([ctx](SimHarness &h) { h.restoreContext(ctx); });
+    }
+
+    BatchOutput
+    dispatchBatch(const std::vector<const arch::Input *> &batch,
+                  const std::vector<TraceFormat> *extraFormats) override
+    {
+        return collectBatch(submitBatch(batch, extraFormats));
+    }
+
+    Ticket
+    submitBatch(const std::vector<const arch::Input *> &batch,
+                const std::vector<TraceFormat> *extraFormats) override
+    {
+        const Ticket ticket = nextTicket_++;
+        // Copy the pointer list and format request; the pointees stay
+        // alive until collect by the interface contract.
+        auto extras = extraFormats
+                          ? std::make_shared<std::vector<TraceFormat>>(
+                                *extraFormats)
+                          : nullptr;
+        const std::uint64_t seq =
+            enqueue([this, ticket, batch, extras](SimHarness &h) {
+                BatchOutput out = h.runBatch(batch, extras.get());
+                std::lock_guard<std::mutex> lock(mu_);
+                batches_.emplace(ticket, std::move(out));
+            });
+        ticketSeq_.emplace(ticket, seq);
+        return ticket;
+    }
+
+    BatchOutput
+    collectBatch(Ticket ticket) override
+    {
+        waitForTicket(ticket);
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = batches_.find(ticket);
+        if (it == batches_.end())
+            throw std::logic_error("AsyncBackend: unknown batch ticket");
+        BatchOutput out = std::move(it->second);
+        batches_.erase(it);
+        return out;
+    }
+
+    SingleOutput
+    runOne(const arch::Input &input,
+           const std::vector<TraceFormat> *extraFormats) override
+    {
+        return collectRun(submitRun(input, extraFormats));
+    }
+
+    Ticket
+    submitRun(const arch::Input &input,
+              const std::vector<TraceFormat> *extraFormats) override
+    {
+        const Ticket ticket = nextTicket_++;
+        auto extras = extraFormats
+                          ? std::make_shared<std::vector<TraceFormat>>(
+                                *extraFormats)
+                          : nullptr;
+        const std::uint64_t seq =
+            enqueue([this, ticket, &input, extras](SimHarness &h) {
+                SingleOutput out;
+                SimHarness::RunOutput run = h.runInput(input);
+                out.trace = std::move(run.trace);
+                out.hitCycleCap = run.run.hitCycleCap;
+                if (extras) {
+                    out.extras.reserve(extras->size());
+                    for (TraceFormat fmt : *extras)
+                        out.extras.push_back(h.extractExtra(fmt));
+                }
+                std::lock_guard<std::mutex> lock(mu_);
+                runs_.emplace(ticket, std::move(out));
+            });
+        ticketSeq_.emplace(ticket, seq);
+        return ticket;
+    }
+
+    SingleOutput
+    collectRun(Ticket ticket) override
+    {
+        waitForTicket(ticket);
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = runs_.find(ticket);
+        if (it == runs_.end())
+            throw std::logic_error("AsyncBackend: unknown run ticket");
+        SingleOutput out = std::move(it->second);
+        runs_.erase(it);
+        return out;
+    }
+
+    std::string
+    classify(const arch::Input &inputA, const arch::Input &inputB,
+             const UarchContext &ctxA, const UarchContext &ctxB) override
+    {
+        std::string signature;
+        waitFor(enqueue([&, this](SimHarness &h) {
+            if (!flat_)
+                throw std::logic_error("AsyncBackend: classify with no "
+                                       "loaded program");
+            signature = core::classifyViolation(h, *flat_, inputA, inputB,
+                                                ctxA, ctxB);
+        }));
+        return signature;
+    }
+
+    void
+    sync() override
+    {
+        if (enqueued_ > 0)
+            waitFor(enqueued_);
+    }
+
+    const TimeBreakdown &
+    times() override
+    {
+        sync();
+        return harness_.times();
+    }
+
+  private:
+    using Op = std::function<void(SimHarness &)>;
+
+    /** Enqueue @p op; returns its 1-based sequence number. */
+    std::uint64_t
+    enqueue(Op op)
+    {
+        std::uint64_t seq;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            queue_.push_back(std::move(op));
+            seq = ++enqueued_;
+        }
+        cv_.notify_all();
+        return seq;
+    }
+
+    /** Block until op @p seq (and every earlier op) completed; rethrow
+     *  the first sim-thread failure, if any. */
+    void
+    waitFor(std::uint64_t seq)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        done_cv_.wait(lock, [&] { return completed_ >= seq || error_; });
+        if (error_)
+            std::rethrow_exception(error_);
+    }
+
+    void
+    waitForTicket(Ticket ticket)
+    {
+        auto it = ticketSeq_.find(ticket);
+        if (it == ticketSeq_.end())
+            throw std::logic_error("AsyncBackend: unknown ticket");
+        const std::uint64_t seq = it->second;
+        ticketSeq_.erase(it);
+        waitFor(seq);
+    }
+
+    void
+    simLoop()
+    {
+        for (;;) {
+            Op op;
+            {
+                std::unique_lock<std::mutex> lock(mu_);
+                cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+                if (queue_.empty())
+                    return; // stop, queue drained
+                op = std::move(queue_.front());
+                queue_.pop_front();
+            }
+            try {
+                // After a failure the harness state is suspect; skip
+                // the remaining ops and let every waiter rethrow.
+                if (!error_)
+                    op(harness_);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mu_);
+                if (!error_)
+                    error_ = std::current_exception();
+            }
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                ++completed_;
+            }
+            done_cv_.notify_all();
+        }
+    }
+
+    SimHarness harness_;                 ///< sim-thread confined after start
+    const isa::FlatProgram *flat_ = nullptr; ///< sim-thread confined
+
+    std::thread thread_;
+    std::mutex mu_;
+    std::condition_variable cv_;      ///< sim thread: work available / stop
+    std::condition_variable done_cv_; ///< waiters: completion advanced
+    std::deque<Op> queue_;
+    std::uint64_t enqueued_ = 0;  ///< caller thread only (with mu_ for queue)
+    std::uint64_t completed_ = 0; ///< guarded by mu_
+    bool stop_ = false;
+    std::exception_ptr error_; ///< first failure; set once
+    std::unordered_map<Ticket, std::uint64_t> ticketSeq_; ///< caller only
+    std::unordered_map<Ticket, BatchOutput> batches_;     ///< guarded by mu_
+    std::unordered_map<Ticket, SingleOutput> runs_;       ///< guarded by mu_
+};
+
+} // namespace
+
+std::unique_ptr<SimBackend>
+makeAsyncBackend(const HarnessConfig &config)
+{
+    return std::make_unique<AsyncBackend>(config);
+}
+
+} // namespace amulet::executor

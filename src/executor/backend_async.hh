@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Asynchronous executor backend: the simulator runs on a dedicated
+ * simulation thread behind an ordered operation queue.
+ *
+ * Every SimBackend operation is enqueued and executed FIFO on the sim
+ * thread, so the harness sees exactly the operation sequence a
+ * synchronous caller would issue — the determinism contract of
+ * backend.hh holds structurally. Synchronous operations (saveContext,
+ * dispatchBatch, runOne, classify) wait for their own completion;
+ * submitBatch/submitRun return immediately, which is what lets the
+ * shard's worker thread prepare the next program's test cases and drain
+ * the previous class's analysis while the simulator executes
+ * (src/runtime/ShardExecutor pipelining).
+ */
+
+#ifndef AMULET_EXECUTOR_BACKEND_ASYNC_HH
+#define AMULET_EXECUTOR_BACKEND_ASYNC_HH
+
+#include <memory>
+
+#include "executor/backend.hh"
+
+namespace amulet::executor
+{
+
+/** Build the dedicated-sim-thread backend. */
+std::unique_ptr<SimBackend> makeAsyncBackend(const HarnessConfig &config);
+
+} // namespace amulet::executor
+
+#endif // AMULET_EXECUTOR_BACKEND_ASYNC_HH

@@ -1,0 +1,412 @@
+#include "executor/backend_subprocess.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <limits.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "executor/sim_protocol.hh"
+#include "isa/disasm.hh"
+
+namespace amulet::executor
+{
+
+namespace
+{
+
+using corpus::Json;
+using protocol::kProtocolVersion;
+
+/** Directory part of @p path (empty when there is none). */
+std::string
+dirName(const std::string &path)
+{
+    const auto slash = path.find_last_of('/');
+    return slash == std::string::npos ? std::string()
+                                      : path.substr(0, slash);
+}
+
+/** Writing to a worker that died mid-shutdown must surface as EPIPE on
+ *  the write (handled as a crash), not as a process-killing SIGPIPE. */
+void
+ignoreSigpipeOnce()
+{
+    static const bool done = [] {
+        struct sigaction sa;
+        std::memset(&sa, 0, sizeof(sa));
+        sa.sa_handler = SIG_IGN;
+        sigaction(SIGPIPE, &sa, nullptr);
+        return true;
+    }();
+    (void)done;
+}
+
+} // namespace
+
+std::string
+findSimWorker()
+{
+    if (const char *env = std::getenv("AMULET_SIM_WORKER")) {
+        if (access(env, X_OK) == 0)
+            return env;
+        throw std::runtime_error(
+            std::string("AMULET_SIM_WORKER is not executable: ") + env);
+    }
+    char buf[PATH_MAX];
+    const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        const std::string dir = dirName(buf);
+        for (const std::string &candidate :
+             {dir + "/amulet_sim_worker",
+              dir + "/examples/amulet_sim_worker",
+              dir + "/../examples/amulet_sim_worker"}) {
+            if (access(candidate.c_str(), X_OK) == 0)
+                return candidate;
+        }
+    }
+    throw std::runtime_error(
+        "amulet_sim_worker not found next to this executable; build the "
+        "examples or set AMULET_SIM_WORKER");
+}
+
+SubprocessBackend::SubprocessBackend(const HarnessConfig &config,
+                                     BackendOptions options)
+    : cfg_(config), opts_(std::move(options))
+{
+    ignoreSigpipeOnce();
+    if (opts_.workerPath.empty())
+        opts_.workerPath = findSimWorker();
+    spawnWorker();
+}
+
+SubprocessBackend::~SubprocessBackend()
+{
+    if (pid_ < 0)
+        return;
+    // Polite shutdown first; the worker exits on "exit" or on EOF.
+    Json req = Json::object();
+    req.set("op", Json::str("exit"));
+    sendLine(req.dump());
+    close(toWorker_);
+    toWorker_ = -1;
+    // Give it a moment, then force.
+    for (int i = 0; i < 50; ++i) {
+        if (waitpid(pid_, nullptr, WNOHANG) == pid_) {
+            pid_ = -1;
+            break;
+        }
+        usleep(2000);
+    }
+    if (pid_ >= 0) {
+        kill(pid_, SIGKILL);
+        waitpid(pid_, nullptr, 0);
+    }
+    if (fromWorker_ >= 0)
+        close(fromWorker_);
+}
+
+void
+SubprocessBackend::spawnWorker()
+{
+    int to_child[2];   // parent writes -> child stdin
+    int from_child[2]; // child stdout -> parent reads
+    // O_CLOEXEC: concurrently forked sibling workers (jobs > 1) must
+    // not inherit this backend's pipe ends — a stray write end held
+    // open in another worker would defeat EOF-based crash detection
+    // (dup2 below clears the flag on the child's stdio copies).
+    if (pipe2(to_child, O_CLOEXEC) != 0 ||
+        pipe2(from_child, O_CLOEXEC) != 0) {
+        throw std::runtime_error("subprocess backend: pipe() failed");
+    }
+
+    const pid_t pid = fork();
+    if (pid < 0)
+        throw std::runtime_error("subprocess backend: fork() failed");
+    if (pid == 0) {
+        // Child: wire the pipes to stdio and become the worker.
+        dup2(to_child[0], STDIN_FILENO);
+        dup2(from_child[1], STDOUT_FILENO);
+        close(to_child[0]);
+        close(to_child[1]);
+        close(from_child[0]);
+        close(from_child[1]);
+        execl(opts_.workerPath.c_str(), opts_.workerPath.c_str(),
+              static_cast<char *>(nullptr));
+        _exit(127); // exec failed
+    }
+    close(to_child[0]);
+    close(from_child[1]);
+    pid_ = pid;
+    toWorker_ = to_child[1];
+    fromWorker_ = from_child[0];
+    rbuf_.clear();
+
+    // Handshake, then re-establish the worker's session state. These go
+    // through raw send/recv (not roundTrip) — a worker that cannot even
+    // say hello is not worth retry loops.
+    auto must = [&](const Json &req, const char *what) {
+        std::string reply_text;
+        if (!sendLine(req.dump()) || !recvLine(reply_text)) {
+            killWorker();
+            throw std::runtime_error(
+                std::string("subprocess backend: worker failed during ") +
+                what + " (bad executable or crash at startup?)");
+        }
+        Json reply = Json::parse(reply_text);
+        if (!reply.at("ok").asBool())
+            throw std::runtime_error("subprocess backend: worker " +
+                                     std::string(what) + " error: " +
+                                     reply.at("error").asStr());
+        return reply;
+    };
+
+    Json hello = Json::object();
+    hello.set("op", Json::str("hello"));
+    hello.set("version", Json::number(std::uint64_t{kProtocolVersion}));
+    hello.set("harness", corpus::harnessToJson(cfg_));
+    must(hello, "hello");
+
+    if (!programText_.empty()) {
+        Json load = Json::object();
+        load.set("op", Json::str("load"));
+        load.set("program", Json::str(programText_));
+        must(load, "program reload");
+    }
+    if (ctx_) {
+        Json restore = Json::object();
+        restore.set("op", Json::str("restore"));
+        restore.set("ctx", corpus::toJson(*ctx_));
+        must(restore, "context restore");
+    }
+}
+
+void
+SubprocessBackend::killWorker()
+{
+    if (pid_ >= 0) {
+        kill(pid_, SIGKILL);
+        waitpid(pid_, nullptr, 0);
+        pid_ = -1;
+        // The worker's counters die with it; fold in what its last
+        // reply reported (at most one operation of timing is lost).
+        deadWorkerTimes_.accumulate(lastWorkerTimes_);
+        lastWorkerTimes_ = TimeBreakdown{};
+    }
+    if (toWorker_ >= 0) {
+        close(toWorker_);
+        toWorker_ = -1;
+    }
+    if (fromWorker_ >= 0) {
+        close(fromWorker_);
+        fromWorker_ = -1;
+    }
+    rbuf_.clear();
+}
+
+bool
+SubprocessBackend::sendLine(const std::string &line)
+{
+    if (toWorker_ < 0)
+        return false;
+    std::string framed = line;
+    framed += '\n';
+    std::size_t off = 0;
+    while (off < framed.size()) {
+        const ssize_t n =
+            write(toWorker_, framed.data() + off, framed.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false; // EPIPE: worker died
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+SubprocessBackend::recvLine(std::string &line)
+{
+    if (fromWorker_ < 0)
+        return false;
+    const double timeout = opts_.opTimeoutSec;
+    for (;;) {
+        const auto nl = rbuf_.find('\n');
+        if (nl != std::string::npos) {
+            line = rbuf_.substr(0, nl);
+            rbuf_.erase(0, nl + 1);
+            return true;
+        }
+        struct pollfd pfd;
+        pfd.fd = fromWorker_;
+        pfd.events = POLLIN;
+        const int timeout_ms =
+            timeout <= 0 ? -1 : static_cast<int>(timeout * 1000.0);
+        const int ready = poll(&pfd, 1, timeout_ms);
+        if (ready == 0)
+            return false; // wedged worker: caller kills and restarts
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        char chunk[4096];
+        const ssize_t n = read(fromWorker_, chunk, sizeof(chunk));
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false; // EOF: worker died
+        }
+        rbuf_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+corpus::Json
+SubprocessBackend::roundTrip(const Json &request)
+{
+    const std::string text = request.dump();
+    // One retry on a fresh worker: the crash handler re-establishes the
+    // exact pre-operation state (config, program, predictor context),
+    // so the retried operation is deterministic. A second failure on
+    // the same operation means the operation itself kills the worker.
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        if (pid_ < 0) {
+            ++restarts_;
+            spawnWorker();
+        }
+        std::string reply_text;
+        if (sendLine(text) && recvLine(reply_text)) {
+            Json reply = Json::parse(reply_text);
+            if (!reply.at("ok").asBool())
+                throw std::runtime_error(
+                    "subprocess backend: worker error: " +
+                    reply.at("error").asStr());
+            return reply;
+        }
+        killWorker();
+    }
+    throw std::runtime_error(
+        "subprocess backend: worker crashed twice on one operation "
+        "(op " + request.at("op").asStr() + ")");
+}
+
+void
+SubprocessBackend::loadProgram(const isa::Program &source,
+                               const isa::FlatProgram &)
+{
+    programText_ = isa::formatProgram(source);
+    Json req = Json::object();
+    req.set("op", Json::str("load"));
+    req.set("program", Json::str(programText_));
+    roundTrip(req);
+}
+
+UarchContext
+SubprocessBackend::saveContext()
+{
+    Json req = Json::object();
+    req.set("op", Json::str("save"));
+    const Json reply = roundTrip(req);
+    UarchContext ctx = corpus::contextFromJson(reply.at("ctx"));
+    // saveContext boots an idle worker; remember the state so a crash
+    // before the next mutating op restores to it.
+    ctx_ = ctx;
+    return ctx;
+}
+
+void
+SubprocessBackend::restoreContext(const UarchContext &ctx)
+{
+    Json req = Json::object();
+    req.set("op", Json::str("restore"));
+    req.set("ctx", corpus::toJson(ctx));
+    roundTrip(req);
+    ctx_ = ctx;
+}
+
+SimBackend::BatchOutput
+SubprocessBackend::dispatchBatch(const std::vector<const arch::Input *> &batch,
+                                 const std::vector<TraceFormat> *extraFormats)
+{
+    Json inputs = Json::array();
+    for (const arch::Input *input : batch)
+        inputs.push(corpus::toJson(*input));
+    Json req = Json::object();
+    req.set("op", Json::str("batch"));
+    req.set("inputs", std::move(inputs));
+    if (extraFormats)
+        req.set("extras", protocol::traceFormatsToJson(*extraFormats));
+    const Json reply = roundTrip(req);
+    BatchOutput out = protocol::batchOutputFromJson(reply);
+    if (!extraFormats)
+        out.extras.clear();
+    ctx_ = corpus::contextFromJson(reply.at("endCtx"));
+    lastWorkerTimes_ = protocol::timesFromJson(reply.at("times"));
+    return out;
+}
+
+SimBackend::SingleOutput
+SubprocessBackend::runOne(const arch::Input &input,
+                          const std::vector<TraceFormat> *extraFormats)
+{
+    Json req = Json::object();
+    req.set("op", Json::str("run"));
+    req.set("input", corpus::toJson(input));
+    if (extraFormats)
+        req.set("extras", protocol::traceFormatsToJson(*extraFormats));
+    const Json reply = roundTrip(req);
+    SingleOutput out;
+    out.trace = corpus::traceFromJson(reply.at("trace"));
+    out.hitCycleCap = reply.at("hitCycleCap").asBool();
+    for (const Json &t : reply.at("extras").items())
+        out.extras.push_back(corpus::traceFromJson(t));
+    ctx_ = corpus::contextFromJson(reply.at("endCtx"));
+    lastWorkerTimes_ = protocol::timesFromJson(reply.at("times"));
+    return out;
+}
+
+std::string
+SubprocessBackend::classify(const arch::Input &inputA,
+                            const arch::Input &inputB,
+                            const UarchContext &ctxA, const UarchContext &ctxB)
+{
+    Json req = Json::object();
+    req.set("op", Json::str("classify"));
+    req.set("inputA", corpus::toJson(inputA));
+    req.set("inputB", corpus::toJson(inputB));
+    req.set("ctxA", corpus::toJson(ctxA));
+    req.set("ctxB", corpus::toJson(ctxB));
+    const Json reply = roundTrip(req);
+    ctx_ = corpus::contextFromJson(reply.at("endCtx"));
+    lastWorkerTimes_ = protocol::timesFromJson(reply.at("times"));
+    return reply.at("signature").asStr();
+}
+
+const TimeBreakdown &
+SubprocessBackend::times()
+{
+    Json req = Json::object();
+    req.set("op", Json::str("times"));
+    const Json reply = roundTrip(req);
+    lastWorkerTimes_ = protocol::timesFromJson(reply.at("times"));
+    times_ = deadWorkerTimes_;
+    times_.accumulate(lastWorkerTimes_);
+    return times_;
+}
+
+std::unique_ptr<SimBackend>
+makeSubprocessBackend(const HarnessConfig &config,
+                      const BackendOptions &options)
+{
+    return std::make_unique<SubprocessBackend>(config, options);
+}
+
+} // namespace amulet::executor

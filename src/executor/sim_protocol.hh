@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Wire protocol between SubprocessBackend and the amulet_sim_worker
+ * process: newline-delimited JSON over stdin/stdout, reusing the corpus
+ * serde building blocks (inputs, traces, contexts travel in exactly the
+ * journal's canonical encoding; programs travel as disassembly).
+ *
+ * Each request line gets exactly one reply line ({"ok":true,...} or
+ * {"ok":false,"error":...}). Operations:
+ *
+ *   hello    {harness}                 -> {}
+ *   load     {program}                 -> {}
+ *   save     {}                        -> {ctx}
+ *   restore  {ctx}                     -> {}
+ *   batch    {inputs, extras?}         -> {runs, contexts, extras?,
+ *                                          hitCycleCap, endCtx}
+ *   run      {input, extras?}          -> {trace, hitCycleCap, extras?,
+ *                                          endCtx}
+ *   classify {inputA,inputB,ctxA,ctxB} -> {signature, endCtx}
+ *   times    {}                        -> {times}
+ *   exit     {}                        -> (worker exits)
+ *
+ * Every state-mutating reply carries endCtx, the worker's predictor
+ * state after the operation. The backend tracks it so a crashed worker
+ * can be restarted and brought to the exact pre-operation state
+ * (hello + load + restore) before the operation is retried — which is
+ * what makes recovery invisible in the campaign's results.
+ */
+
+#ifndef AMULET_EXECUTOR_SIM_PROTOCOL_HH
+#define AMULET_EXECUTOR_SIM_PROTOCOL_HH
+
+#include <string>
+#include <vector>
+
+#include "corpus/serde.hh"
+#include "executor/backend.hh"
+
+namespace amulet::executor::protocol
+{
+
+using corpus::Json;
+
+/** Bumped on any incompatible wire change; hello carries it. */
+inline constexpr unsigned kProtocolVersion = 1;
+
+/** @name Shared field encodings */
+/// @{
+Json traceFormatsToJson(const std::vector<TraceFormat> &formats);
+std::vector<TraceFormat> traceFormatsFromJson(const Json &json);
+
+Json runResultToJson(const uarch::RunResult &run);
+uarch::RunResult runResultFromJson(const Json &json);
+
+Json timesToJson(const TimeBreakdown &times);
+TimeBreakdown timesFromJson(const Json &json);
+
+Json batchOutputToJson(const SimHarness::BatchOutput &out);
+SimHarness::BatchOutput batchOutputFromJson(const Json &json);
+/// @}
+
+/** Reply wrappers. */
+Json okReply();
+Json errorReply(const std::string &message);
+
+} // namespace amulet::executor::protocol
+
+#endif // AMULET_EXECUTOR_SIM_PROTOCOL_HH

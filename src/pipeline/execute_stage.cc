@@ -3,6 +3,54 @@
 namespace amulet::pipeline
 {
 
+namespace
+{
+
+/** Composability fallback: in a pipeline without a FilterStage the
+ *  classes were never planned — execute every class rather than
+ *  silently running nothing. */
+void
+planAllClasses(ProgramPlan &plan)
+{
+    plan.classes = core::groupByCTrace(plan.ctraces);
+    plan.outcome.effectiveClasses = plan.classes.effectiveClasses();
+    plan.executeClasses.clear();
+    for (std::size_t c = 0; c < plan.classes.classes.size(); ++c)
+        plan.executeClasses.push_back(c);
+}
+
+} // namespace
+
+void
+ExecuteStage::submit(StageContext &ctx, ProgramPlan &plan)
+{
+    const bool extras = ctx.cfg.collectAllFormats;
+    const auto all_formats = executor::allTraceFormats();
+
+    if (plan.classes.classes.empty() && !plan.inputs.empty())
+        planAllClasses(plan);
+
+    ctx.backend.loadProgram(plan.program, *plan.flat);
+    // Canonical start: predictor state does not leak across programs, so
+    // the outcome is independent of which worker ran the previous one.
+    // Within the program, predictor state flows across the executed
+    // batches exactly as AMuLeT-Opt flows it across inputs.
+    ctx.backend.restoreContext(ctx.canonicalCtx);
+
+    plan.batchTickets.clear();
+    plan.batchTickets.reserve(plan.executeClasses.size());
+    for (std::size_t c : plan.executeClasses) {
+        const std::vector<std::size_t> &cls = plan.classes.classes[c];
+        std::vector<const arch::Input *> batch;
+        batch.reserve(cls.size());
+        for (std::size_t idx : cls)
+            batch.push_back(&plan.inputs[idx]);
+        plan.batchTickets.push_back(ctx.backend.submitBatch(
+            batch, extras ? &all_formats : nullptr));
+    }
+    plan.batchesSubmitted = true;
+}
+
 void
 ExecuteStage::run(StageContext &ctx, ProgramPlan &plan)
 {
@@ -10,52 +58,73 @@ ExecuteStage::run(StageContext &ctx, ProgramPlan &plan)
     const bool extras = ctx.cfg.collectAllFormats;
     const auto all_formats = executor::allTraceFormats();
 
-    // Composability fallback: in a pipeline without a FilterStage the
-    // classes were never planned — execute every class rather than
-    // silently running nothing.
-    if (plan.classes.classes.empty() && !plan.inputs.empty()) {
-        plan.classes = core::groupByCTrace(plan.ctraces);
-        out.effectiveClasses = plan.classes.effectiveClasses();
-        plan.executeClasses.clear();
-        for (std::size_t c = 0; c < plan.classes.classes.size(); ++c)
-            plan.executeClasses.push_back(c);
-    }
-
     plan.traces.assign(plan.inputs.size(), {});
     plan.contexts.assign(plan.inputs.size(), {});
     if (extras)
         plan.extraTraces.assign(plan.inputs.size(), {});
 
-    ctx.harness.loadProgram(&*plan.flat);
-    // Canonical start: predictor state does not leak across programs, so
-    // the outcome is independent of which worker ran the previous one.
-    // Within the program, predictor state flows across the executed
-    // batches exactly as AMuLeT-Opt flows it across inputs.
-    ctx.harness.restoreContext(ctx.canonicalCtx);
-
-    for (std::size_t c : plan.executeClasses) {
-        const std::vector<std::size_t> &cls = plan.classes.classes[c];
-        std::vector<const arch::Input *> batch;
-        batch.reserve(cls.size());
-        for (std::size_t idx : cls)
-            batch.push_back(&plan.inputs[idx]);
-
-        executor::SimHarness::BatchOutput res = ctx.harness.runBatch(
-            batch, extras ? &all_formats : nullptr);
-        if (res.hitCycleCap) {
-            // Pathological program; abort it. ran stays false (its
-            // partial results must not merge into campaign stats) and
-            // the skip is counted, unlike in the pre-pipeline runtime.
-            out.skippedProgram = true;
-            plan.halt = true;
-            return;
-        }
+    auto scatter = [&](executor::SimBackend::BatchOutput &res,
+                       const std::vector<std::size_t> &cls) {
         for (std::size_t i = 0; i < cls.size(); ++i) {
             plan.traces[cls[i]] = std::move(res.runs[i].trace);
             plan.contexts[cls[i]] = std::move(res.startContexts[i]);
             if (extras)
                 plan.extraTraces[cls[i]] = std::move(res.extras[i]);
         }
+    };
+
+    bool aborted = false;
+    if (plan.batchesSubmitted) {
+        // Pipelined driver path: every class batch is already in
+        // flight; collect in order. On a cycle-cap abort the remaining
+        // tickets still drain (the work was dispatched), results are
+        // discarded.
+        for (std::size_t b = 0; b < plan.batchTickets.size(); ++b) {
+            executor::SimBackend::BatchOutput res =
+                ctx.backend.collectBatch(plan.batchTickets[b]);
+            if (aborted)
+                continue;
+            if (res.hitCycleCap) {
+                aborted = true;
+                continue;
+            }
+            scatter(res, plan.classes.classes[plan.executeClasses[b]]);
+        }
+        plan.batchTickets.clear();
+        plan.batchesSubmitted = false;
+    } else {
+        // Synchronous path: dispatch class by class so a cycle-cap hit
+        // aborts the program before the remaining classes cost any
+        // simulator time (a pipelined submit would have paid for them
+        // anyway; a synchronous one must not).
+        if (plan.classes.classes.empty() && !plan.inputs.empty())
+            planAllClasses(plan);
+        ctx.backend.loadProgram(plan.program, *plan.flat);
+        ctx.backend.restoreContext(ctx.canonicalCtx);
+        for (std::size_t c : plan.executeClasses) {
+            const std::vector<std::size_t> &cls = plan.classes.classes[c];
+            std::vector<const arch::Input *> batch;
+            batch.reserve(cls.size());
+            for (std::size_t idx : cls)
+                batch.push_back(&plan.inputs[idx]);
+            executor::SimBackend::BatchOutput res =
+                ctx.backend.dispatchBatch(batch,
+                                          extras ? &all_formats : nullptr);
+            if (res.hitCycleCap) {
+                aborted = true;
+                break;
+            }
+            scatter(res, cls);
+        }
+    }
+
+    if (aborted) {
+        // Pathological program; abort it. ran stays false (its partial
+        // results must not merge into campaign stats) and the skip is
+        // counted, unlike in the pre-pipeline runtime.
+        out.skippedProgram = true;
+        plan.halt = true;
+        return;
     }
     out.ran = true;
     out.testCases = plan.inputs.size();

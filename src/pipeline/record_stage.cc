@@ -1,6 +1,5 @@
 #include "pipeline/stages.hh"
 
-#include "core/signature.hh"
 #include "isa/disasm.hh"
 
 namespace amulet::pipeline
@@ -13,10 +12,11 @@ RecordStage::run(StageContext &ctx, ProgramPlan &plan)
     for (const ConfirmedPair &pair : plan.confirmed) {
         std::string signature = "unclassified";
         if (ctx.cfg.collectSignatures) {
-            signature = core::classifyViolation(
-                ctx.harness, *plan.flat, plan.inputs[pair.a],
-                plan.inputs[pair.b], plan.contexts[pair.a],
-                plan.contexts[pair.b]);
+            // Event-logged re-runs happen wherever the simulator lives;
+            // the backend returns only the signature string.
+            signature = ctx.backend.classify(
+                plan.inputs[pair.a], plan.inputs[pair.b],
+                plan.contexts[pair.a], plan.contexts[pair.b]);
         }
         ++out.signatureCounts[signature];
 

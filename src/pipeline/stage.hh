@@ -7,7 +7,7 @@
  * (TestGen → CTrace → Filter → Execute → Analyze → Validate → Record),
  * each reading and extending one ProgramPlan. Stages are stateless —
  * everything a program accumulates lives in its plan, and everything the
- * stages share (config, simulator harness, leakage model) comes in via
+ * stages share (config, executor backend, leakage model) comes in via
  * the StageContext — so a pipeline instance can be reused across
  * programs, stages can be reordered, skipped, or instrumented, and a
  * stage can later be dispatched to a remote or out-of-process backend by
@@ -16,7 +16,8 @@
  * Determinism contract (inherited from src/runtime/): a plan's outcome
  * is a pure function of (config, program index, program RNG stream).
  * Stages must draw randomness only from the plan's pre-split streams and
- * touch the harness only from the canonical per-program starting
+ * touch the simulator (through the backend) only from the canonical
+ * per-program starting
  * context.
  */
 
@@ -33,7 +34,7 @@
 #include "contracts/observation.hh"
 #include "core/analyzer.hh"
 #include "core/campaign.hh"
-#include "executor/sim_harness.hh"
+#include "executor/backend.hh"
 #include "isa/program.hh"
 
 namespace amulet::pipeline
@@ -51,12 +52,15 @@ secondsSince(Clock::time_point t0)
 
 /**
  * Shared services a stage may use. The context is per-shard: one
- * harness and one model, never shared across workers.
+ * executor backend and one model, never shared across workers. Stages
+ * never see a concrete SimHarness — the backend decides whether the
+ * simulator runs in this thread, on a dedicated simulation thread, or
+ * in another process (src/executor/backend.hh).
  */
 struct StageContext
 {
     const core::CampaignConfig &cfg;
-    executor::SimHarness &harness;
+    executor::SimBackend &backend;
     contracts::LeakageModel &model;
     /** Post-boot predictor state every program starts from. */
     const executor::UarchContext &canonicalCtx;
@@ -107,6 +111,12 @@ struct ProgramPlan
     std::vector<executor::UTrace> traces;
     std::vector<executor::UarchContext> contexts; ///< pre-run context
     std::vector<std::vector<executor::UTrace>> extraTraces;
+    /** Class batches already submitted to the backend but not yet
+     *  collected (one ticket per entry of executeClasses, in order).
+     *  Filled by ExecuteStage::submit when a pipelined driver dispatches
+     *  the simulator work early; drained by ExecuteStage::run. */
+    std::vector<executor::SimBackend::Ticket> batchTickets;
+    bool batchesSubmitted = false;
 
     // AnalyzeStage / ValidateStage
     core::AnalysisResult analysis;

@@ -36,16 +36,12 @@ tallyFormats(StageContext &ctx, ProgramPlan &plan)
             if (!any_diff)
                 continue;
             // One validation pair for all formats at once.
-            ctx.harness.restoreContext(plan.contexts[idx]);
-            ctx.harness.runInput(plan.inputs[rep]);
-            std::vector<executor::UTrace> rep_under_idx;
-            for (auto fmt : all_formats)
-                rep_under_idx.push_back(ctx.harness.extractExtra(fmt));
-            ctx.harness.restoreContext(plan.contexts[rep]);
-            ctx.harness.runInput(plan.inputs[idx]);
-            std::vector<executor::UTrace> idx_under_rep;
-            for (auto fmt : all_formats)
-                idx_under_rep.push_back(ctx.harness.extractExtra(fmt));
+            ctx.backend.restoreContext(plan.contexts[idx]);
+            const auto rep_under_idx =
+                ctx.backend.runOne(plan.inputs[rep], &all_formats).extras;
+            ctx.backend.restoreContext(plan.contexts[rep]);
+            const auto idx_under_rep =
+                ctx.backend.runOne(plan.inputs[idx], &all_formats).extras;
             out.validationRuns += 2;
 
             auto confirmed = [&](std::size_t f) {
@@ -77,19 +73,52 @@ ValidateStage::run(StageContext &ctx, ProgramPlan &plan)
     if (ctx.cfg.collectAllFormats)
         tallyFormats(ctx, plan);
 
-    for (const core::CandidatePair &cand : plan.analysis.candidates) {
+    // Re-run each candidate's inputs under the other's starting μarch
+    // context (§3.2). The violation is confirmed when the inputs remain
+    // distinguishable under at least one *common* context: a pure
+    // initial-context artifact makes both same-context pairs equal,
+    // whereas a genuine leak that depends on predictor state (e.g.
+    // Spectre-v4 under a trained memory-dependence predictor) still
+    // differs under one of them.
+    //
+    // On a pipelined backend all re-runs are submitted up front — the
+    // restore/run operation sequence the simulator sees is exactly the
+    // sequential one, but verdict computation overlaps execution. Under
+    // stopAtFirstViolation the sequential path is kept: it stops
+    // submitting at the first confirmation.
+    const bool pipelined = ctx.backend.caps().pipelined &&
+                           !ctx.cfg.stopAtFirstViolation;
+
+    std::vector<std::pair<executor::SimBackend::Ticket,
+                          executor::SimBackend::Ticket>>
+        tickets;
+    if (pipelined) {
+        tickets.reserve(plan.analysis.candidates.size());
+        for (const core::CandidatePair &cand : plan.analysis.candidates) {
+            ctx.backend.restoreContext(plan.contexts[cand.b]);
+            const auto a_t =
+                ctx.backend.submitRun(plan.inputs[cand.a], nullptr);
+            ctx.backend.restoreContext(plan.contexts[cand.a]);
+            const auto b_t =
+                ctx.backend.submitRun(plan.inputs[cand.b], nullptr);
+            tickets.emplace_back(a_t, b_t);
+        }
+    }
+
+    for (std::size_t c = 0; c < plan.analysis.candidates.size(); ++c) {
+        const core::CandidatePair &cand = plan.analysis.candidates[c];
         ++out.candidateViolations;
-        // Re-run each input under the other's starting μarch context
-        // (§3.2). The violation is confirmed when the inputs remain
-        // distinguishable under at least one *common* context: a pure
-        // initial-context artifact makes both same-context pairs
-        // equal, whereas a genuine leak that depends on predictor
-        // state (e.g. Spectre-v4 under a trained memory-dependence
-        // predictor) still differs under one of them.
-        ctx.harness.restoreContext(plan.contexts[cand.b]);
-        const auto a_under_b = ctx.harness.runInput(plan.inputs[cand.a]);
-        ctx.harness.restoreContext(plan.contexts[cand.a]);
-        const auto b_under_a = ctx.harness.runInput(plan.inputs[cand.b]);
+        executor::SimBackend::SingleOutput a_under_b;
+        executor::SimBackend::SingleOutput b_under_a;
+        if (pipelined) {
+            a_under_b = ctx.backend.collectRun(tickets[c].first);
+            b_under_a = ctx.backend.collectRun(tickets[c].second);
+        } else {
+            ctx.backend.restoreContext(plan.contexts[cand.b]);
+            a_under_b = ctx.backend.runOne(plan.inputs[cand.a], nullptr);
+            ctx.backend.restoreContext(plan.contexts[cand.a]);
+            b_under_a = ctx.backend.runOne(plan.inputs[cand.b], nullptr);
+        }
         out.validationRuns += 2;
         const bool persists =
             !(a_under_b.trace == plan.traces[cand.b]) ||

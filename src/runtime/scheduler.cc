@@ -33,6 +33,7 @@ CampaignScheduler::run()
         // any simulator (also guards absurd jobs requests).
         core::CampaignStats stats;
         stats.jobs = 1;
+        stats.backend = executor::backendKindName(cfg_.backend);
         return stats;
     }
     if (jobs > num_programs)
@@ -97,7 +98,8 @@ CampaignScheduler::run()
         corpus::writeCheckpoint(cfg_.corpusDir, cfg_,
                                 sink.snapshotReported());
     };
-    std::atomic<unsigned> ran_this_run{0};
+    std::atomic<unsigned> claimed_this_run{0};
+    std::atomic<unsigned> reported_this_run{0};
 
     // A corpus I/O failure (journal append, checkpoint write) inside a
     // pool thread must surface as the library's CorpusError, not as
@@ -106,54 +108,90 @@ CampaignScheduler::run()
     std::exception_ptr failure;
     std::mutex failure_mu;
 
-    // One shard per worker: claim program indices dynamically for load
-    // balance; determinism is per-program, not per-claim-order. The
-    // executor (one simulator boot) is only constructed once the worker
-    // has actually claimed a program, so workers that arrive after the
-    // queue drained — or after a stop-first detection — cost nothing.
-    auto shard_loop = [&](std::optional<ShardExecutor> &exec) {
+    // Claim program indices dynamically for load balance; determinism
+    // is per-program, not per-claim-order. The per-process budget is
+    // enforced at claim time so that a pipelined shard's one-program
+    // lookahead cannot overshoot it.
+    auto claim = [&]() -> std::optional<unsigned> {
         for (;;) {
             if (stop.load(std::memory_order_relaxed))
-                break;
+                return std::nullopt;
             const unsigned p =
                 next_program.fetch_add(1, std::memory_order_relaxed);
             if (p >= num_programs)
-                break;
+                return std::nullopt;
             if (completed.count(p))
                 continue; // restored from the checkpoint
-            if (!exec)
-                exec.emplace(cfg_, t0);
-            ProgramOutcome out = exec->runProgram(p, streams[p]);
-            const bool detected = out.confirmedViolations > 0;
-            sink.report(p, std::move(out));
-            if (detected && cfg_.stopAtFirstViolation)
-                stop.store(true, std::memory_order_relaxed);
-            const unsigned ran =
-                ran_this_run.fetch_add(1, std::memory_order_relaxed) + 1;
-            if (cfg_.maxProgramsThisRun > 0 &&
-                ran >= cfg_.maxProgramsThisRun) {
-                // Per-process budget reached: stop claiming. The final
-                // checkpoint below makes the partial campaign resumable.
-                stop.store(true, std::memory_order_relaxed);
+            if (cfg_.maxProgramsThisRun > 0) {
+                const unsigned claimed = claimed_this_run.fetch_add(
+                                             1, std::memory_order_relaxed) +
+                                         1;
+                if (claimed >= cfg_.maxProgramsThisRun) {
+                    // Budget reached: stop claiming. The final
+                    // checkpoint makes the partial campaign resumable.
+                    stop.store(true, std::memory_order_relaxed);
+                }
+                if (claimed > cfg_.maxProgramsThisRun)
+                    return std::nullopt; // lost the race for the budget
             }
-            if (store && cfg_.checkpointEvery > 0 &&
-                ran % cfg_.checkpointEvery == 0) {
-                write_checkpoint();
-            }
+            return p;
         }
     };
+    auto report = [&](unsigned p, ProgramOutcome out) {
+        const bool detected = out.confirmedViolations > 0;
+        sink.report(p, std::move(out));
+        if (detected && cfg_.stopAtFirstViolation)
+            stop.store(true, std::memory_order_relaxed);
+        const unsigned done =
+            reported_this_run.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (store && cfg_.checkpointEvery > 0 &&
+            done % cfg_.checkpointEvery == 0) {
+            write_checkpoint();
+        }
+    };
+
+    // One shard per worker. The executor (one simulator boot) is only
+    // constructed once the worker has actually claimed a program, so
+    // workers that arrive after the queue drained — or after a
+    // stop-first detection — cost nothing. ShardExecutor::runClaimed
+    // owns the claim-run-report loop; on a pipelined backend it keeps
+    // one program in simulator flight while preparing the next.
     auto shard_task = [&] {
         std::optional<ShardExecutor> exec;
         try {
-            shard_loop(exec);
+            const std::optional<unsigned> first = claim();
+            if (first) {
+                exec.emplace(cfg_, t0);
+                bool first_pending = true;
+                exec->runClaimed(
+                    [&]() -> std::optional<unsigned> {
+                        if (first_pending) {
+                            first_pending = false;
+                            return first;
+                        }
+                        return claim();
+                    },
+                    streams, report);
+            }
         } catch (...) {
             std::lock_guard<std::mutex> lock(failure_mu);
             if (!failure)
                 failure = std::current_exception();
             stop.store(true, std::memory_order_relaxed);
         }
-        if (exec)
-            sink.addTimes(exec->times());
+        if (exec) {
+            // times() synchronizes with the backend and can rethrow a
+            // failure the loop above already captured (or, for an
+            // out-of-process worker, fail on its own). The breakdown is
+            // diagnostics — never let it escape into std::terminate.
+            try {
+                sink.addTimes(exec->times());
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(failure_mu);
+                if (!failure)
+                    failure = std::current_exception();
+            }
+        }
     };
 
     if (jobs <= 1) {
@@ -174,6 +212,7 @@ CampaignScheduler::run()
 
     core::CampaignStats stats = sink.finalize();
     stats.jobs = jobs;
+    stats.backend = executor::backendKindName(cfg_.backend);
     stats.resumedPrograms = static_cast<unsigned>(completed.size());
     stats.wallSeconds = secondsSince(t0);
     // Across jobs workers, jobs * wallSeconds of worker time was

@@ -2,10 +2,10 @@
  * @file
  * Per-worker campaign pipeline driver.
  *
- * A ShardExecutor owns one simulator harness plus one leakage model and
- * drives the staged per-program pipeline (src/pipeline/) for one test
- * program at a time. Determinism contract: a program's outcome is a
- * pure function of (config, program index, program RNG stream) —
+ * A ShardExecutor owns one executor backend (src/executor/backend.hh)
+ * plus one leakage model and drives the staged per-program pipeline
+ * (src/pipeline/). Determinism contract: a program's outcome is a pure
+ * function of (config, program index, program RNG stream) —
  *
  *  - all randomness comes from the per-program Rng stream handed in by
  *    the scheduler (pre-split from the campaign seed in program order),
@@ -13,19 +13,36 @@
  *    canonical post-boot context before every program's execution, and
  *    the harness already canonicalizes caches/TLB between inputs,
  *
- * so any worker may run any program and the merged campaign result is
- * independent of the worker count and of scheduling order.
+ * so any worker may run any program — on any backend — and the merged
+ * campaign result is independent of the worker count, of scheduling
+ * order, and of where the simulator executes.
+ *
+ * With a pipelined backend (async), runClaimed() software-pipelines the
+ * shard across *two* backend lanes: programs alternate between two
+ * independently booted simulators, so while lane 0 executes program k's
+ * class batches and validation re-runs, lane 1 executes program k+1's —
+ * and the worker thread generates and contract-traces program k+2.
+ * Programs are mutually independent by the determinism contract (each
+ * starts from the canonical post-boot context on a freshly primed
+ * memory system, and simulation is reproducible across harness
+ * instances — a seed-tested invariant), so per-program results are
+ * byte-identical to the sequential path; only wall time moves
+ * (bench/table3 backend ablation).
  */
 
 #ifndef AMULET_RUNTIME_SHARD_EXECUTOR_HH
 #define AMULET_RUNTIME_SHARD_EXECUTOR_HH
 
 #include <chrono>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
 
 #include "common/rng.hh"
 #include "contracts/leakage_model.hh"
 #include "core/campaign.hh"
-#include "executor/sim_harness.hh"
+#include "executor/backend.hh"
 #include "pipeline/pipeline.hh"
 #include "runtime/violation_sink.hh"
 
@@ -48,27 +65,58 @@ class ShardExecutor
   public:
 
     /**
-     * Construct (and boot) the worker's simulator. @p t0 is the campaign
-     * start time; detection timestamps are measured against it.
+     * Construct the worker's backend (and boot its simulator). @p t0 is
+     * the campaign start time; detection timestamps are measured
+     * against it.
      */
     ShardExecutor(const core::CampaignConfig &cfg, Clock::time_point t0);
 
     /** Run one program with its dedicated RNG stream. */
     ProgramOutcome runProgram(unsigned programIndex, Rng prog_rng);
 
-    /** Harness time breakdown accumulated so far (startup/sim/extract). */
-    const executor::TimeBreakdown &times() const
-    {
-        return harness_.times();
-    }
+    /** Claim the next program index to run (nullopt: stop). */
+    using ClaimFn = std::function<std::optional<unsigned>()>;
+    /** Publish one finished program's outcome. */
+    using ReportFn =
+        std::function<void(unsigned programIndex, ProgramOutcome outcome)>;
+
+    /**
+     * Claim-run-report until the claim source dries up. On a pipelined
+     * backend (and outside stopAtFirstViolation, whose claim set must
+     * not run ahead of detections) the loop keeps one program in
+     * simulator flight while preparing the next on this thread; per-
+     * program outcomes are identical either way, only wall time moves.
+     * @p streams holds the scheduler's pre-split per-program RNG
+     * streams, indexed by program.
+     */
+    void runClaimed(const ClaimFn &claim, const std::vector<Rng> &streams,
+                    const ReportFn &report);
+
+    /** Harness time breakdown accumulated so far (startup/sim/extract),
+     *  summed over the shard's backend lanes. Synchronizes with the
+     *  backends' pending work. */
+    const executor::TimeBreakdown &times();
+
+    /** The shard's primary backend lane (tests, diagnostics). */
+    executor::SimBackend &backend() { return *backend_; }
 
   private:
+    pipeline::StageContext stageContext(executor::SimBackend &lane);
+    /** Run the pre-simulator stages (TestGen → CTrace → Filter). */
+    pipeline::ProgramPlan prepare(unsigned programIndex, Rng prog_rng);
+    /** Run the simulator-bound stages (Execute → … → Record) against
+     *  the lane the plan's batches were submitted to. */
+    void finish(pipeline::ProgramPlan &plan, executor::SimBackend &lane);
+
     const core::CampaignConfig &cfg_;
-    executor::SimHarness harness_;
+    std::unique_ptr<executor::SimBackend> backend_;  ///< lane 0
+    std::unique_ptr<executor::SimBackend> backend2_; ///< lane 1 (pipelined)
     contracts::LeakageModel model_;
     executor::UarchContext canonicalCtx_; ///< post-boot predictor state
     Clock::time_point t0_;
-    pipeline::ProgramPipeline stages_;
+    pipeline::ProgramPipeline prefix_;  ///< TestGen → CTrace → Filter
+    pipeline::ProgramPipeline suffix_;  ///< Execute → … → Record
+    executor::TimeBreakdown timesCache_; ///< storage for times()
 };
 
 } // namespace amulet::runtime

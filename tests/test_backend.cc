@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Executor backend equivalence contract (src/executor/backend.hh): for
+ * every defense, a campaign reaches exactly the same verdicts —
+ * confirmed violations, signature counts, counters, and byte-identical
+ * record contents — on the in-process, async, and subprocess backends,
+ * at jobs=1 and jobs=4. And the subprocess backend survives killed
+ * workers: crash injection (AMULET_SIM_WORKER_CRASH_AFTER) and a direct
+ * SIGKILL mid-program both end in results identical to an uninterrupted
+ * run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <signal.h>
+
+#include "core/campaign.hh"
+#include "core/generator.hh"
+#include "core/input_gen.hh"
+#include "corpus/serde.hh"
+#include "executor/backend_subprocess.hh"
+
+namespace
+{
+
+using namespace amulet;
+
+core::CampaignConfig
+campaignConfig(defense::DefenseKind kind, unsigned jobs,
+               executor::BackendKind backend)
+{
+    core::CampaignConfig cfg;
+    cfg.harness.defense.kind = kind;
+    cfg.harness.prime = (kind == defense::DefenseKind::CleanupSpec ||
+                         kind == defense::DefenseKind::SpecLfb)
+                            ? executor::PrimeMode::Invalidate
+                            : executor::PrimeMode::ConflictFill;
+    cfg.harness.bootInsts = 2000;
+    if (kind == defense::DefenseKind::Stt) {
+        cfg.harness.map.sandboxPages = 128;
+        cfg.contract = contracts::archSeq();
+    }
+    cfg.gen.map = cfg.harness.map;
+    cfg.inputs.map = cfg.harness.map;
+    cfg.numPrograms = 8;
+    cfg.baseInputsPerProgram = 6;
+    cfg.siblingsPerBase = 4;
+    cfg.seed = 1;
+    cfg.jobs = jobs;
+    cfg.backend = backend;
+    return cfg;
+}
+
+/** Everything but wall-clock must match the in-process reference. */
+void
+expectEquivalent(const core::CampaignStats &reference,
+                 const core::CampaignStats &other)
+{
+    EXPECT_EQ(reference.confirmedViolations, other.confirmedViolations);
+    EXPECT_EQ(reference.signatureCounts, other.signatureCounts);
+    EXPECT_EQ(reference.candidateViolations, other.candidateViolations);
+    EXPECT_EQ(reference.violatingTestCases, other.violatingTestCases);
+    EXPECT_EQ(reference.validationRuns, other.validationRuns);
+    EXPECT_EQ(reference.programs, other.programs);
+    EXPECT_EQ(reference.skippedPrograms, other.skippedPrograms);
+    EXPECT_EQ(reference.testCases, other.testCases);
+    EXPECT_EQ(reference.filteredTestCases, other.filteredTestCases);
+    EXPECT_EQ(reference.effectiveClasses, other.effectiveClasses);
+    // Per-record contents are byte-identical modulo detectSeconds, the
+    // one wall-clock field (compared through the canonical serde dump,
+    // the same normalization corpus exports use).
+    ASSERT_EQ(reference.records.size(), other.records.size());
+    for (std::size_t i = 0; i < reference.records.size(); ++i) {
+        core::ViolationRecord a = reference.records[i];
+        core::ViolationRecord b = other.records[i];
+        a.detectSeconds = 0;
+        b.detectSeconds = 0;
+        EXPECT_EQ(corpus::toJson(a).dump(), corpus::toJson(b).dump())
+            << "record " << i;
+    }
+}
+
+void
+runEquivalence(defense::DefenseKind kind, bool expect_detection)
+{
+    for (unsigned jobs : {1u, 4u}) {
+        SCOPED_TRACE("jobs=" + std::to_string(jobs));
+        const auto reference =
+            core::Campaign(campaignConfig(
+                               kind, jobs, executor::BackendKind::InProcess))
+                .run();
+        if (expect_detection)
+            EXPECT_TRUE(reference.detected());
+        for (auto backend : {executor::BackendKind::Async,
+                             executor::BackendKind::Subprocess}) {
+            SCOPED_TRACE(executor::backendKindName(backend));
+            const auto other =
+                core::Campaign(campaignConfig(kind, jobs, backend)).run();
+            expectEquivalent(reference, other);
+        }
+    }
+}
+
+TEST(BackendEquivalence, Baseline)
+{
+    runEquivalence(defense::DefenseKind::Baseline, true);
+}
+
+TEST(BackendEquivalence, InvisiSpec)
+{
+    runEquivalence(defense::DefenseKind::InvisiSpec, false);
+}
+
+TEST(BackendEquivalence, CleanupSpec)
+{
+    runEquivalence(defense::DefenseKind::CleanupSpec, false);
+}
+
+TEST(BackendEquivalence, SpecLfb)
+{
+    runEquivalence(defense::DefenseKind::SpecLfb, false);
+}
+
+TEST(BackendEquivalence, Stt)
+{
+    runEquivalence(defense::DefenseKind::Stt, false);
+}
+
+// CT-COND exercises the paths the backends treat most differently —
+// filtered programs never reach the simulator, so a pipelined shard
+// reports them out of band — and is the campaign the bench's backend
+// ablation row runs.
+TEST(BackendEquivalence, CtCond)
+{
+    for (unsigned jobs : {1u, 4u}) {
+        SCOPED_TRACE("jobs=" + std::to_string(jobs));
+        auto make = [&](executor::BackendKind backend) {
+            auto cfg = campaignConfig(defense::DefenseKind::Baseline,
+                                      jobs, backend);
+            cfg.contract = contracts::ctCond();
+            cfg.numPrograms = 12;
+            return cfg;
+        };
+        const auto reference =
+            core::Campaign(make(executor::BackendKind::InProcess)).run();
+        for (auto backend : {executor::BackendKind::Async,
+                             executor::BackendKind::Subprocess}) {
+            SCOPED_TRACE(executor::backendKindName(backend));
+            const auto other = core::Campaign(make(backend)).run();
+            expectEquivalent(reference, other);
+        }
+    }
+}
+
+// The async shard driver picks one or two simulator lanes from the core
+// count; both schedules must produce identical campaigns. This host may
+// resolve either way, so force each path explicitly.
+TEST(BackendEquivalence, AsyncLaneCountIsOutcomeInvariant)
+{
+    const auto reference =
+        core::Campaign(campaignConfig(defense::DefenseKind::Baseline, 1,
+                                      executor::BackendKind::InProcess))
+            .run();
+    for (const char *lanes : {"1", "2"}) {
+        SCOPED_TRACE(std::string("lanes=") + lanes);
+        setenv("AMULET_ASYNC_LANES", lanes, 1);
+        const auto async_stats =
+            core::Campaign(campaignConfig(defense::DefenseKind::Baseline,
+                                          1, executor::BackendKind::Async))
+                .run();
+        unsetenv("AMULET_ASYNC_LANES");
+        expectEquivalent(reference, async_stats);
+    }
+}
+
+// === Subprocess crash recovery =============================================
+
+/** Scoped env var (the crash-injection hook reads the environment). */
+struct ScopedEnv
+{
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        setenv(name, value, 1);
+    }
+    ~ScopedEnv() { unsetenv(name_); }
+    const char *name_;
+};
+
+// Every subprocess worker dies after three simulator operations; the
+// backend must restart it, restore its exact pre-operation state, and
+// finish the campaign with results identical to an undisturbed run.
+TEST(SubprocessRecovery, CrashInjectedWorkersReproduceTheCampaign)
+{
+    const auto reference =
+        core::Campaign(campaignConfig(defense::DefenseKind::Baseline, 1,
+                                      executor::BackendKind::InProcess))
+            .run();
+    ScopedEnv crash("AMULET_SIM_WORKER_CRASH_AFTER", "3");
+    const auto crashed =
+        core::Campaign(campaignConfig(defense::DefenseKind::Baseline, 1,
+                                      executor::BackendKind::Subprocess))
+            .run();
+    EXPECT_TRUE(reference.detected());
+    expectEquivalent(reference, crashed);
+}
+
+// Kill the worker process outright between dispatches; the next
+// dispatch must restart it and produce the exact traces an untouched
+// backend produces — including the predictor state carried across the
+// kill (the batch after the kill starts from the pre-kill context).
+TEST(SubprocessRecovery, SigkilledWorkerRestartsWithIdenticalResults)
+{
+    executor::HarnessConfig hcfg;
+    hcfg.bootInsts = 1000;
+    core::GeneratorConfig gcfg;
+    gcfg.map = hcfg.map;
+    core::ProgramGenerator gen(gcfg, Rng(5));
+    const isa::Program prog = gen.generate();
+    const isa::FlatProgram flat(prog, gcfg.map.codeBase);
+    core::InputGenConfig icfg;
+    icfg.map = gcfg.map;
+    core::InputGenerator igen(icfg, Rng(6));
+    const arch::Input in0 = igen.generate(0);
+    const arch::Input in1 = igen.generate(1);
+
+    std::vector<std::pair<executor::UTrace, executor::UTrace>> traces;
+    auto run_pair = [&](bool kill_between) {
+        executor::SubprocessBackend backend(hcfg, {});
+        backend.saveContext();
+        backend.loadProgram(prog, flat);
+        auto first = backend.dispatchBatch({&in0}, nullptr);
+        if (kill_between) {
+            ASSERT_NE(backend.workerPid(), -1);
+            kill(backend.workerPid(), SIGKILL);
+        }
+        auto second = backend.dispatchBatch({&in1}, nullptr);
+        ASSERT_EQ(first.runs.size(), 1u);
+        ASSERT_EQ(second.runs.size(), 1u);
+        if (kill_between)
+            EXPECT_GE(backend.restarts(), 1u);
+        traces.push_back({first.runs[0].trace, second.runs[0].trace});
+    };
+    run_pair(false);
+    run_pair(true);
+    ASSERT_EQ(traces.size(), 2u);
+    EXPECT_EQ(traces[0].first, traces[1].first);
+    EXPECT_EQ(traces[0].second, traces[1].second)
+        << "post-kill batch must start from the pre-kill predictor "
+           "context";
+}
+
+} // namespace

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+
 #include "core/generator.hh"
 #include "core/input_gen.hh"
 #include "executor/sim_harness.hh"
@@ -166,6 +168,100 @@ TEST(Harness, TimeBreakdownAccumulates)
     EXPECT_GT(t.startupSec, 0.0);
     EXPECT_GT(t.simulateSec, 0.0);
     EXPECT_GE(t.traceExtractSec, 0.0);
+}
+
+TEST(HarnessBatch, EmptyBatchRunsNothing)
+{
+    Fixture f;
+    SimHarness harness(fastConfig());
+    harness.loadProgram(f.fp.get());
+    const auto out = harness.runBatch({});
+    EXPECT_TRUE(out.runs.empty());
+    EXPECT_TRUE(out.startContexts.empty());
+    EXPECT_TRUE(out.extras.empty());
+    EXPECT_FALSE(out.hitCycleCap);
+}
+
+// A batch that hits the cycle cap mid-way must return the completed
+// prefix: runs.size() < batch size, one saved start context per
+// *completed* run (the capped run's context is popped), and the flag
+// set.
+TEST(HarnessBatch, CycleCapMidBatchReturnsCompletedPrefix)
+{
+    Fixture f;
+
+    // Find a batch [a, b] where b (running after a, under a's trained
+    // predictor state) needs at least two more cycles than a: a cap
+    // between the two completes a and cuts b. Inputs differ in sandbox
+    // contents, so cycle counts vary; search a few candidates.
+    core::InputGenConfig icfg;
+    icfg.map = f.gcfg.map;
+    core::InputGenerator igen(icfg, Rng(9));
+    const arch::Input a = igen.generate(100);
+    std::optional<arch::Input> b;
+    Cycle cap = 0;
+    for (unsigned i = 0; i < 12 && !b; ++i) {
+        SimHarness probe(fastConfig());
+        probe.loadProgram(f.fp.get());
+        const arch::Input candidate = igen.generate(101 + i);
+        const auto out = probe.runBatch({&a, &candidate});
+        ASSERT_EQ(out.runs.size(), 2u);
+        const Cycle ca = out.runs[0].run.cycles;
+        const Cycle cb = out.runs[1].run.cycles;
+        if (cb >= ca + 2) {
+            b = candidate;
+            cap = (ca + cb) / 2;
+        }
+    }
+    ASSERT_TRUE(b) << "no input pair with distinct cycle counts found";
+
+    auto cfg = fastConfig();
+    cfg.core.maxCyclesPerRun = cap;
+    SimHarness harness(cfg);
+    harness.loadProgram(f.fp.get());
+    const auto out = harness.runBatch({&a, &*b});
+    EXPECT_TRUE(out.hitCycleCap);
+    ASSERT_EQ(out.runs.size(), 1u);
+    EXPECT_EQ(out.startContexts.size(), 1u);
+    EXPECT_TRUE(out.runs[0].run.halted);
+}
+
+// Extra trace formats come back one list per run, in request order —
+// including when the request is a permuted subset — and each equals a
+// per-input extraction replayed from the same starting context.
+TEST(HarnessBatch, ExtrasFollowRequestOrder)
+{
+    Fixture f;
+    const std::vector<TraceFormat> formats = {
+        TraceFormat::BpState, TraceFormat::MemAccessOrder,
+        TraceFormat::L1dTlb};
+
+    core::InputGenConfig icfg;
+    icfg.map = f.gcfg.map;
+    core::InputGenerator igen(icfg, Rng(9));
+    const arch::Input i0 = igen.generate(0);
+    const arch::Input i1 = igen.generate(1);
+
+    SimHarness harness(fastConfig());
+    harness.loadProgram(f.fp.get());
+    const auto start = harness.saveContext();
+    const auto batched = harness.runBatch({&i0, &i1}, &formats);
+    ASSERT_EQ(batched.runs.size(), 2u);
+    ASSERT_EQ(batched.extras.size(), 2u);
+
+    // Replay per input from the same start context.
+    harness.restoreContext(start);
+    for (std::size_t i = 0; i < 2; ++i) {
+        harness.runInput(i == 0 ? i0 : i1);
+        ASSERT_EQ(batched.extras[i].size(), formats.size());
+        for (std::size_t fmt = 0; fmt < formats.size(); ++fmt) {
+            EXPECT_EQ(batched.extras[i][fmt].format, formats[fmt])
+                << "extras must follow the request order";
+            EXPECT_EQ(batched.extras[i][fmt],
+                      harness.extractExtra(formats[fmt]))
+                << "run " << i << " format " << fmt;
+        }
+    }
 }
 
 TEST(GeneratedPrograms, DisassemblyRoundTripsThroughAssembler)

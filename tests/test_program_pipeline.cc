@@ -35,14 +35,15 @@ smallConfig()
     return cfg;
 }
 
-/** One harness + model + canonical context, as a shard would own. */
+/** One backend + model + canonical context, as a shard would own. */
 struct Fixture
 {
     core::CampaignConfig cfg = smallConfig();
-    executor::SimHarness harness{cfg.harness};
+    executor::InProcessBackend backend{cfg.harness};
+    executor::SimHarness &harness = backend.harness();
     contracts::LeakageModel model{cfg.contract};
-    executor::UarchContext canonicalCtx = harness.saveContext();
-    pipeline::StageContext ctx{cfg, harness, model, canonicalCtx,
+    executor::UarchContext canonicalCtx = backend.saveContext();
+    pipeline::StageContext ctx{cfg, backend, model, canonicalCtx,
                                pipeline::Clock::now()};
 };
 
