@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Machine-readable performance snapshot: the data source behind
+ * BENCH_*.json (scripts/bench.sh).
+ *
+ * Emits one JSON object on stdout with tests/second and the full
+ * TimeBreakdown for a seeded campaign per defense, plus the prime-cache
+ * off→on ablation on the table3 baseline campaign (CT-COND, inproc,
+ * jobs=1). Wall-clock numbers are hardware-dependent — the JSON is a
+ * trajectory point for regression *tracking*, not a gate; the
+ * `speedup` field of the ablation is the one shape CI can reason
+ * about across hosts.
+ *
+ * AMULET_BENCH_SCALE scales campaign sizes like every other bench.
+ */
+
+#include <cstdio>
+#include <thread>
+
+#include "bench_util.hh"
+#include "corpus/serde.hh"
+
+namespace
+{
+
+using namespace bench_util;
+using corpus::Json;
+
+Json
+timesJson(const executor::TimeBreakdown &t)
+{
+    Json j = Json::object();
+    j.set("startupSec", Json::number(t.startupSec));
+    j.set("primeSec", Json::number(t.primeSec));
+    j.set("simulateSec", Json::number(t.simulateSec));
+    j.set("traceExtractSec", Json::number(t.traceExtractSec));
+    j.set("testGenSec", Json::number(t.testGenSec));
+    j.set("ctraceSec", Json::number(t.ctraceSec));
+    j.set("filterSec", Json::number(t.filterSec));
+    j.set("otherSec", Json::number(t.otherSec));
+    return j;
+}
+
+core::CampaignStats
+run(core::CampaignConfig cfg)
+{
+    cfg.collectSignatures = false;
+    return core::Campaign(cfg).run();
+}
+
+} // namespace
+
+int
+main()
+{
+    Json defenses = Json::array();
+    for (defense::DefenseKind kind : defense::allDefenseKinds()) {
+        core::CampaignConfig cfg = campaignFor(kind);
+        cfg.numPrograms = scaled(30);
+        const auto stats = run(cfg);
+        Json j = Json::object();
+        j.set("defense", Json::str(defense::defenseKindName(kind)));
+        j.set("contract", Json::str(cfg.contract.name));
+        j.set("testCases", Json::number(stats.testCases));
+        j.set("wallSeconds", Json::number(stats.wallSeconds));
+        j.set("testsPerSec", Json::number(stats.throughput()));
+        j.set("confirmedViolations",
+              Json::number(stats.confirmedViolations));
+        j.set("times", timesJson(stats.times));
+        defenses.push(std::move(j));
+    }
+
+    // The acceptance ablation: table3's CT-COND/Opt cell, in-process,
+    // jobs=1, prime cache off vs on.
+    core::CampaignConfig abl = campaignFor(
+        defense::DefenseKind::Baseline, false, "CT-COND");
+    abl.numPrograms = scaled(60);
+    core::CampaignConfig abl_off = abl;
+    abl_off.harness.primeCache = false;
+    const auto on = run(abl);
+    const auto off = run(abl_off);
+    Json ablation = Json::object();
+    ablation.set("defense", Json::str("baseline"));
+    ablation.set("contract", Json::str("CT-COND"));
+    ablation.set("backend", Json::str("inproc"));
+    ablation.set("jobs", Json::number(std::uint64_t{1}));
+    ablation.set("offTestsPerSec", Json::number(off.throughput()));
+    ablation.set("onTestsPerSec", Json::number(on.throughput()));
+    ablation.set("speedup",
+                 Json::number(off.throughput() > 0
+                                  ? on.throughput() / off.throughput()
+                                  : 0.0));
+    ablation.set("offPrimeSec", Json::number(off.times.primeSec));
+    ablation.set("onPrimeSec", Json::number(on.times.primeSec));
+    // Same verdict definition as table3's ablation row, so the two
+    // acceptance signals cannot disagree on one divergence.
+    ablation.set("verdictsEqual",
+                 Json::boolean(off.confirmedViolations ==
+                                   on.confirmedViolations &&
+                               off.violatingTestCases ==
+                                   on.violatingTestCases &&
+                               off.candidateViolations ==
+                                   on.candidateViolations));
+
+    Json out = Json::object();
+    out.set("bench", Json::str("perf_snapshot"));
+    out.set("scale", Json::number(scale()));
+    out.set("hardwareThreads",
+            Json::number(std::uint64_t{
+                std::thread::hardware_concurrency()}));
+    out.set("note", Json::str("wall-clock numbers are hardware-"
+                              "dependent; compare shapes and the "
+                              "primeCacheAblation speedup, not "
+                              "absolute values"));
+    out.set("defenses", std::move(defenses));
+    out.set("primeCacheAblation", std::move(ablation));
+
+    const std::string text = out.dump();
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    std::fputc('\n', stdout);
+    return 0;
+}

@@ -21,7 +21,7 @@ main()
     struct Row
     {
         const char *name;
-        double sec[7];
+        double sec[8];
         double total;
     };
     Row rows[2];
@@ -42,16 +42,18 @@ main()
         r.name = naive ? "Naive" : "Opt";
         const auto &t = stats.times;
         r.sec[0] = t.startupSec;
-        r.sec[1] = t.simulateSec;
-        r.sec[2] = t.traceExtractSec;
-        r.sec[3] = t.testGenSec;
-        r.sec[4] = t.ctraceSec;
-        r.sec[5] = t.filterSec;
-        r.sec[6] = t.otherSec < 0 ? 0 : t.otherSec;
+        r.sec[1] = t.primeSec;
+        r.sec[2] = t.simulateSec;
+        r.sec[3] = t.traceExtractSec;
+        r.sec[4] = t.testGenSec;
+        r.sec[5] = t.ctraceSec;
+        r.sec[6] = t.filterSec;
+        r.sec[7] = t.otherSec < 0 ? 0 : t.otherSec;
         r.total = stats.wallSeconds;
     }
 
-    const char *components[7] = {"sim startup",   "sim simulate",
+    const char *components[8] = {"sim startup",   "sim priming",
+                                 "sim simulate",
                                  "uTrace extraction", "Test generation",
                                  "CTrace extraction", "Ineffective filter",
                                  "Others"};
@@ -59,7 +61,7 @@ main()
                 "programs)\n\n", inputs, programs);
     std::printf("%-20s | %12s %8s | %12s %8s\n", "Component", "Naive",
                 "", "Opt", "");
-    for (int c = 0; c < 7; ++c) {
+    for (int c = 0; c < 8; ++c) {
         std::printf("%-20s | %9.3f s  %5.1f%% | %9.3f s  %5.1f%%\n",
                     components[c], rows[0].sec[c] / programs,
                     100.0 * rows[0].sec[c] / rows[0].total,

@@ -71,7 +71,13 @@ struct Worker
                 return errorReply("protocol version mismatch: got " +
                                   std::to_string(version));
             }
-            harness.emplace(corpus::harnessFromJson(req.at("harness")));
+            executor::HarnessConfig cfg =
+                corpus::harnessFromJson(req.at("harness"));
+            // primeCache travels outside the harness config: it is a
+            // runtime knob excluded from the corpus fingerprint.
+            if (const Json *pc = req.find("primeCache"))
+                cfg.primeCache = pc->asBool();
+            harness.emplace(std::move(cfg));
             return okReply();
         }
         if (op == "load") {

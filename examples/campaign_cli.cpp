@@ -69,6 +69,9 @@ usage(const char *argv0)
         "8000)\n"
         "  --patched         apply all published fixes to the defense\n"
         "  --no-filter       disable ineffective-test-case filtering\n"
+        "  --no-prime-cache  re-simulate conflict-fill priming per input\n"
+        "                    (runtime knob; results are identical, see "
+        "--list)\n"
         "  --naive           AMuLeT-Naive (restart per input)\n"
         "  --invalidate      invalidate-hook cache reset (default: "
         "conflict fill)\n"
@@ -102,7 +105,11 @@ listChoices()
     std::printf("\nbackends (--backend):");
     for (auto backend : amulet::executor::allBackendKinds())
         std::printf(" %s", amulet::executor::backendKindName(backend));
-    std::printf("\n");
+    // Runtime knobs never change campaign results (violations,
+    // signatures, counters, record bytes) — only how/where the same
+    // work runs. They are excluded from the corpus config fingerprint.
+    std::printf("\nruntime knobs: --jobs --backend --no-prime-cache "
+                "(prime cache default: on)\n");
 }
 
 /**
@@ -427,6 +434,9 @@ main(int argc, char **argv)
         } else if (arg == "--no-filter") {
             only("run");
             cfg.filterIneffective = false;
+        } else if (arg == "--no-prime-cache") {
+            only("run");
+            cfg.harness.primeCache = false;
         } else if (arg == "--naive") {
             only("run");
             cfg.harness.naiveMode = true;
@@ -498,7 +508,7 @@ main(int argc, char **argv)
 
     std::printf("campaign: defense=%s%s contract=%s trace=%s programs=%u "
                 "inputs=%u x %u pages=%u seed=%llu jobs=%u "
-                "backend=%s%s%s%s%s%s\n\n",
+                "backend=%s%s%s%s%s%s%s\n\n",
                 defense::defenseKindName(kind), patched ? " (patched)" : "",
                 cfg.contract.name.c_str(),
                 executor::traceFormatName(cfg.harness.traceFormat),
@@ -507,6 +517,7 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(cfg.seed), cfg.jobs,
                 executor::backendKindName(cfg.backend),
                 cfg.filterIneffective ? "" : " NOFILTER",
+                cfg.harness.primeCache ? "" : " NOPRIMECACHE",
                 cfg.harness.naiveMode ? " NAIVE" : "",
                 cfg.corpusDir.empty() ? "" : " corpus=",
                 cfg.corpusDir.c_str(), cfg.resume ? " (resume)" : "");

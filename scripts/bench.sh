@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Machine-readable perf harness: build the tree, run bench/perf_snapshot,
+# and write the campaign-throughput trajectory point (tests/s per defense
+# + TimeBreakdown + the prime-cache off->on ablation) to BENCH_5.json.
+#
+# Wall-clock numbers are hardware-dependent: the JSON is for tracking the
+# perf trajectory across commits on comparable hosts, and CI publishes it
+# as a non-gating artifact. The one host-independent shape is the
+# ablation's `speedup` field, which this script sanity-checks (>= 1.5x on
+# the table3 baseline campaign: CT-COND, inproc, jobs=1).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_5.json}"
+JOBS="${VERIFY_JOBS:-$(nproc)}"
+
+cmake -B build -S . > /dev/null
+cmake --build build -j "${JOBS}" --target perf_snapshot > /dev/null
+
+AMULET_BENCH_SCALE="${AMULET_BENCH_SCALE:-0.5}" \
+    ./build/bench/perf_snapshot > "${OUT}"
+
+echo "wrote ${OUT}:"
+# One line per defense plus the ablation, without requiring jq.
+if ! python3 - "${OUT}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+for d in data["defenses"]:
+    print(f"  {d['defense']:<12} {d['contract']:<9} "
+          f"{d['testsPerSec']:9.1f} tests/s  "
+          f"(prime {d['times']['primeSec']:.3f}s, "
+          f"simulate {d['times']['simulateSec']:.3f}s)")
+a = data["primeCacheAblation"]
+print(f"  prime-cache ablation ({a['contract']}, {a['backend']}, "
+      f"jobs={a['jobs']}): off {a['offTestsPerSec']:.1f} -> "
+      f"on {a['onTestsPerSec']:.1f} tests/s ({a['speedup']:.2f}x)")
+ok = a["speedup"] >= 1.5 and a["verdictsEqual"]
+sys.exit(0 if ok else 1)
+EOF
+then
+  echo "FAIL: prime-cache ablation below 1.5x or verdicts diverged" >&2
+  exit 1
+fi
+echo "bench: OK (ablation >= 1.5x, verdicts unchanged)"

@@ -103,6 +103,27 @@ fi
 
 echo "filter smoke: OK"
 
+# --- Prime-cache smoke: memoized priming must not move a record byte --------
+# The prime-cache equivalence contract (src/executor/README.md): restoring
+# the post-prime MemSnapshot is state-identical to re-simulating the
+# conflict-fill priming program, so corpus exports — headers included,
+# the knob is excluded from the config fingerprint — are byte-identical
+# with the memo on (default) and off.
+
+echo "--- prime-cache smoke: on/off export equivalence"
+"${CLI}" "${CAMPAIGN[@]}" --no-prime-cache --corpus-dir "${SMOKE}/pcoff" \
+    --jobs 2 > /dev/null
+"${CLI}" export --corpus-dir "${SMOKE}/pcoff" --out "${SMOKE}/pcoff.jsonl" \
+    > /dev/null
+test "$(wc -l < "${SMOKE}/pcoff.jsonl")" -gt 1
+cmp "${SMOKE}/full.jsonl" "${SMOKE}/pcoff.jsonl"
+# Runtime knob: a corpus written without the memo resumes and replays
+# with it (and vice versa) — same contract as --jobs/--backend.
+"${CLI}" replay --corpus-dir "${SMOKE}/pcoff" > /dev/null
+"${CLI}" --list | grep -q -- "--no-prime-cache"
+
+echo "prime-cache smoke: OK"
+
 # --- Backend smoke: inproc/async/subprocess must export identically ----------
 # The backend equivalence contract (src/executor/backend.hh): for a fixed
 # (config, seed), corpus exports are byte-identical across every backend —
@@ -134,15 +155,18 @@ cmp "${SMOKE}/be_inproc.jsonl" "${SMOKE}/be_crash.jsonl"
 
 echo "backend smoke: OK"
 
-# --- Throughput canary: table3 filter + backend ablations --------------------
+# --- Throughput canary: table3 filter + backend + prime-cache ablations ------
 # Scaled-down table3 run printing the before/after tests/s lines, so perf
-# regressions in the filter/batching/backend paths are visible in CI logs.
-echo "--- table3 throughput (filter off -> on, inproc -> async)"
+# regressions in the filter/batching/backend/priming paths are visible in
+# CI logs.
+echo "--- table3 throughput (filter off -> on, prime-cache off -> on," \
+     "inproc -> async)"
 AMULET_BENCH_SCALE="${AMULET_BENCH_SCALE:-0.2}" \
     ./build/bench/table3_baseline_campaign > "${SMOKE}/table3.txt"
 grep -A 2 "filter ablation" "${SMOKE}/table3.txt"
+grep -A 2 "prime-cache ablation" "${SMOKE}/table3.txt"
 grep -A 2 "backend ablation" "${SMOKE}/table3.txt"
 if grep -q "DIVERGED" "${SMOKE}/table3.txt"; then
-  echo "FAIL: async backend changed campaign verdicts" >&2
+  echo "FAIL: an ablation changed campaign verdicts" >&2
   exit 1
 fi

@@ -86,14 +86,20 @@ class EventLog
     /** Drop all recorded events. */
     void clear() { events_.clear(); }
 
-    /** Record an event (no-op while disabled). */
+    /**
+     * Record an event (no-op while disabled). The note rides as a
+     * C string so the disabled path — the cycle loop's common case —
+     * evaluates no std::string constructor; the string is only
+     * materialized once the event is actually stored.
+     */
     void
     record(Cycle cycle, EventKind kind, SeqNum seq = 0, Addr pc = 0,
-           Addr addr = 0, std::string note = {})
+           Addr addr = 0, const char *note = nullptr)
     {
         if (!enabled_)
             return;
-        events_.push_back({cycle, kind, seq, pc, addr, std::move(note)});
+        events_.push_back({cycle, kind, seq, pc, addr,
+                           note ? std::string(note) : std::string()});
     }
 
     const std::vector<Event> &events() const { return events_; }

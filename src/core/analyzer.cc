@@ -62,12 +62,15 @@ findCandidates(const EquivalenceClasses &classes,
         std::vector<std::size_t> distinct_deviants;
         for (std::size_t i = 1; i < cls.size(); ++i) {
             const std::size_t idx = cls[i];
-            if (traces[idx] == traces[rep])
+            // tracesEqual short-circuits on the hashes extraction
+            // cached, so the common all-equal/all-different sweeps
+            // never walk the word arrays.
+            if (executor::tracesEqual(traces[idx], traces[rep]))
                 continue;
             ++result.violatingTestCases;
             bool seen = false;
             for (std::size_t d : distinct_deviants) {
-                if (traces[d] == traces[idx]) {
+                if (executor::tracesEqual(traces[d], traces[idx])) {
                     seen = true;
                     break;
                 }

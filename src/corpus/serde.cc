@@ -652,6 +652,10 @@ traceFromJson(const Json &json)
     executor::UTrace trace;
     trace.format = traceFormatFromToken(json.at("format").asStr());
     trace.words = u64ArrayFromJson(json.at("words"));
+    // The hash cache is never serialized; rebuild it so traces that
+    // crossed the wire (subprocess backend) or the journal take the
+    // same fast-inequality path as freshly extracted ones.
+    trace.finalizeHash();
     return trace;
 }
 
@@ -1072,6 +1076,11 @@ harnessToJson(const executor::HarnessConfig &config)
     harness.set("tlbPrefill",
                 Json::str(tlbPrefillToken(config.tlbPrefill)));
     harness.set("bootInsts", Json::number(std::uint64_t{config.bootInsts}));
+    // HarnessConfig::primeCache is deliberately NOT serialized: it is a
+    // runtime knob like jobs/backend — results are identical with the
+    // memo on or off — so it must not move the corpus config
+    // fingerprint, and corpora written with different settings may mix.
+    // The subprocess wire hello carries it out of band.
     return harness;
 }
 

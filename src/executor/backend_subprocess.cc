@@ -172,6 +172,10 @@ SubprocessBackend::spawnWorker()
     hello.set("op", Json::str("hello"));
     hello.set("version", Json::number(std::uint64_t{kProtocolVersion}));
     hello.set("harness", corpus::harnessToJson(cfg_));
+    // Runtime knob, excluded from the serialized harness config (the
+    // corpus fingerprint must not move with it) but the worker's
+    // simulator must still honor the operator's setting.
+    hello.set("primeCache", Json::boolean(cfg_.primeCache));
     must(hello, "hello");
 
     if (!programText_.empty()) {

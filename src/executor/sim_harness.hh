@@ -24,6 +24,7 @@
 #define AMULET_EXECUTOR_SIM_HARNESS_HH
 
 #include <memory>
+#include <optional>
 
 #include "arch/input.hh"
 #include "common/event_log.hh"
@@ -58,6 +59,11 @@ struct UarchContext
 struct TimeBreakdown
 {
     double startupSec = 0;
+    /** Input-switch cost: cache reset + conflict-fill priming (or the
+     *  memoized snapshot restore) + TLB/L2 prefill. Previously folded
+     *  into simulateSec; split out so the prime-cache optimization is
+     *  visible in the breakdown. */
+    double primeSec = 0;
     double simulateSec = 0;
     double traceExtractSec = 0;
     double testGenSec = 0;   ///< filled by the campaign
@@ -68,14 +74,15 @@ struct TimeBreakdown
     double
     totalSec() const
     {
-        return startupSec + simulateSec + traceExtractSec + testGenSec +
-               ctraceSec + filterSec + otherSec;
+        return startupSec + primeSec + simulateSec + traceExtractSec +
+               testGenSec + ctraceSec + filterSec + otherSec;
     }
 
     void
     accumulate(const TimeBreakdown &other)
     {
         startupSec += other.startupSec;
+        primeSec += other.primeSec;
         simulateSec += other.simulateSec;
         traceExtractSec += other.traceExtractSec;
         testGenSec += other.testGenSec;
@@ -107,6 +114,23 @@ struct HarnessConfig
     TlbPrefill tlbPrefill = TlbPrefill::Auto;
     unsigned bootInsts = 8000; ///< startup boot-program length (calibrated
                                 ///  so Naive:Opt matches the paper ~10-13x)
+
+    /**
+     * Memoize conflict-fill priming: the priming program is branchless
+     * and always starts from an invalidated hierarchy, so its resulting
+     * μarch state is a constant of the harness. With the cache on, the
+     * prime runs once and every later input restores the captured
+     * uarch::MemSnapshot instead of re-simulating hundreds of loads.
+     *
+     * Runtime knob like CampaignConfig::backend: excluded from the
+     * corpus config fingerprint because results are identical either
+     * way — for fixed (config, seed), confirmed violations, signatures,
+     * counters, and record bytes match for every (jobs, backend,
+     * primeCache) triple (tests/test_prime_cache.cc). Debug builds
+     * periodically re-run the real prime and assert the memo has not
+     * drifted.
+     */
+    bool primeCache = true;
 };
 
 /** The executor. */
@@ -191,6 +215,7 @@ class SimHarness
   private:
     void buildAuxPrograms();
     void resetBetweenInputs();
+    void runPrimeProgram();
 
     HarnessConfig cfg_;
     EventLog log_;
@@ -207,6 +232,12 @@ class SimHarness
     std::unique_ptr<isa::FlatProgram> bootProg_;
     isa::Program primeSrc_;
     std::unique_ptr<isa::FlatProgram> primeProg_;
+
+    /** Post-prime warm state, captured after the first real conflict-
+     *  fill run (primeCache); later inputs restore it instead of
+     *  re-simulating the priming program. */
+    std::optional<uarch::MemSnapshot> primeSnapshot_;
+    unsigned primeRestores_ = 0; ///< drives the debug-mode drift audit
 };
 
 } // namespace amulet::executor

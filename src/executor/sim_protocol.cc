@@ -57,6 +57,7 @@ timesToJson(const TimeBreakdown &times)
 {
     Json j = Json::object();
     j.set("startupSec", Json::number(times.startupSec));
+    j.set("primeSec", Json::number(times.primeSec));
     j.set("simulateSec", Json::number(times.simulateSec));
     j.set("traceExtractSec", Json::number(times.traceExtractSec));
     return j;
@@ -67,6 +68,7 @@ timesFromJson(const Json &json)
 {
     TimeBreakdown times;
     times.startupSec = json.at("startupSec").asDouble();
+    times.primeSec = json.at("primeSec").asDouble();
     times.simulateSec = json.at("simulateSec").asDouble();
     times.traceExtractSec = json.at("traceExtractSec").asDouble();
     return times;

@@ -8,7 +8,7 @@
  * Each request line gets exactly one reply line ({"ok":true,...} or
  * {"ok":false,"error":...}). Operations:
  *
- *   hello    {harness}                 -> {}
+ *   hello    {harness, primeCache}     -> {}
  *   load     {program}                 -> {}
  *   save     {}                        -> {ctx}
  *   restore  {ctx}                     -> {}
@@ -41,8 +41,11 @@ namespace amulet::executor::protocol
 
 using corpus::Json;
 
-/** Bumped on any incompatible wire change; hello carries it. */
-inline constexpr unsigned kProtocolVersion = 1;
+/** Bumped on any incompatible wire change; hello carries it.
+ *  v2: hello carries the primeCache runtime knob (it is deliberately
+ *  not part of the serialized harness config — the corpus fingerprint
+ *  must not change with it), and times replies carry primeSec. */
+inline constexpr unsigned kProtocolVersion = 2;
 
 /** @name Shared field encodings */
 /// @{

@@ -114,6 +114,9 @@ extractTrace(const uarch::Pipeline &pipe, TraceFormat format)
         }
         break;
     }
+    // Hash while the words are hot in cache: AnalyzeStage/ValidateStage
+    // then reject unequal traces without touching the word arrays.
+    trace.finalizeHash();
     return trace;
 }
 

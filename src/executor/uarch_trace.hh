@@ -44,24 +44,57 @@ struct UTrace
     TraceFormat format = TraceFormat::L1dTlb;
     std::vector<std::uint64_t> words;
 
+    /** Cached 64-bit content hash, filled at extraction/deserialization
+     *  time (0 = not computed). Never serialized — recomputed on load —
+     *  and never part of equality; it only accelerates inequality via
+     *  tracesEqual(). */
+    std::uint64_t hash64 = 0;
+
     bool
     operator==(const UTrace &other) const
     {
         return format == other.format && words == other.words;
     }
 
+    /** FNV-1a over the format tag and words. */
     std::uint64_t
-    hash() const
+    computeHash() const
     {
-        std::uint64_t h = static_cast<std::uint64_t>(format);
+        std::uint64_t h = 0xcbf29ce484222325ULL;
+        auto mix = [&h](std::uint64_t w) {
+            for (int i = 0; i < 64; i += 8) {
+                h ^= (w >> i) & 0xff;
+                h *= 0x100000001b3ULL;
+            }
+        };
+        mix(static_cast<std::uint64_t>(format));
         for (std::uint64_t w : words)
-            h = hashCombine(h, w);
+            mix(w);
         return h;
     }
+
+    /** Fill the cache (idempotent; extraction and serde call this). */
+    void finalizeHash() { hash64 = computeHash(); }
 
     /** Human-readable dump (for reports). */
     std::string describe(std::size_t max_words = 64) const;
 };
+
+/**
+ * Equality with a hash fast path: two traces whose cached hashes both
+ * exist and differ cannot be equal — the common case in relational
+ * analysis, where almost every comparison is between *different*
+ * traces of O(cache-size) words. Falls back to deep comparison on a
+ * hash match (collision safety) or when either cache is unset, so the
+ * result is always exact equality.
+ */
+inline bool
+tracesEqual(const UTrace &a, const UTrace &b)
+{
+    if (a.hash64 != 0 && b.hash64 != 0 && a.hash64 != b.hash64)
+        return false;
+    return a == b;
+}
 
 /** Extract a trace of @p format from the pipeline's final state. */
 UTrace extractTrace(const uarch::Pipeline &pipe, TraceFormat format);

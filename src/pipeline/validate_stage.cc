@@ -27,8 +27,8 @@ tallyFormats(StageContext &ctx, ProgramPlan &plan)
             const std::size_t idx = cls[i];
             bool any_diff = false;
             for (std::size_t f = 0; f < all_formats.size(); ++f) {
-                if (!(plan.extraTraces[idx][f] ==
-                      plan.extraTraces[rep][f])) {
+                if (!executor::tracesEqual(plan.extraTraces[idx][f],
+                                           plan.extraTraces[rep][f])) {
                     any_diff = true;
                     break;
                 }
@@ -45,10 +45,13 @@ tallyFormats(StageContext &ctx, ProgramPlan &plan)
             out.validationRuns += 2;
 
             auto confirmed = [&](std::size_t f) {
-                if (plan.extraTraces[idx][f] == plan.extraTraces[rep][f])
+                if (executor::tracesEqual(plan.extraTraces[idx][f],
+                                          plan.extraTraces[rep][f]))
                     return false;
-                return !(rep_under_idx[f] == plan.extraTraces[idx][f]) ||
-                       !(idx_under_rep[f] == plan.extraTraces[rep][f]);
+                return !executor::tracesEqual(rep_under_idx[f],
+                                              plan.extraTraces[idx][f]) ||
+                       !executor::tracesEqual(idx_under_rep[f],
+                                              plan.extraTraces[rep][f]);
             };
             const bool base_confirmed = confirmed(baseline_idx);
             for (std::size_t f = 0; f < all_formats.size(); ++f) {
@@ -121,8 +124,8 @@ ValidateStage::run(StageContext &ctx, ProgramPlan &plan)
         }
         out.validationRuns += 2;
         const bool persists =
-            !(a_under_b.trace == plan.traces[cand.b]) ||
-            !(b_under_a.trace == plan.traces[cand.a]);
+            !executor::tracesEqual(a_under_b.trace, plan.traces[cand.b]) ||
+            !executor::tracesEqual(b_under_a.trace, plan.traces[cand.a]);
         if (!persists)
             continue;
 

@@ -219,9 +219,10 @@ CampaignScheduler::run()
     // available; whatever the harness and campaign phases did not measure
     // is scheduling overhead and idle tail.
     const double measured =
-        stats.times.startupSec + stats.times.simulateSec +
-        stats.times.traceExtractSec + stats.times.testGenSec +
-        stats.times.ctraceSec + stats.times.filterSec;
+        stats.times.startupSec + stats.times.primeSec +
+        stats.times.simulateSec + stats.times.traceExtractSec +
+        stats.times.testGenSec + stats.times.ctraceSec +
+        stats.times.filterSec;
     stats.times.otherSec = stats.wallSeconds * jobs - measured;
     if (stats.times.otherSec < 0)
         stats.times.otherSec = 0;

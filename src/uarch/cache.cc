@@ -147,6 +147,23 @@ Cache::nonSpecTouched(Addr line_addr) const
     return line && line->nonSpec;
 }
 
+Cache::State
+Cache::save() const
+{
+    return {stamp_, lines_};
+}
+
+void
+Cache::restore(const State &state)
+{
+    assert(state.lines.size() == lines_.size() &&
+           "cache snapshot geometry mismatch");
+    stamp_ = state.stamp;
+    // Element-wise copy into the retained array: the vector capacities
+    // match, so restoring allocates nothing.
+    lines_ = state.lines;
+}
+
 std::vector<Addr>
 Cache::snapshot() const
 {

@@ -25,6 +25,39 @@ class Cache
   public:
     explicit Cache(const CacheParams &params);
 
+    /** One tag-array entry (public so snapshots can hold them). */
+    struct Line
+    {
+        bool valid = false;
+        Addr lineAddr = 0;
+        std::uint64_t lruStamp = 0;
+        bool nonSpec = false;
+
+        bool operator==(const Line &) const = default;
+    };
+
+    /**
+     * Full warm-state snapshot: every tag-array entry plus the LRU
+     * clock. Restoring reproduces not just which lines are present but
+     * the exact replacement order and noClean marks, so simulation
+     * after a restore() is cycle-identical to simulation after the
+     * sequence of accesses that produced the saved state.
+     */
+    struct State
+    {
+        std::uint64_t stamp = 0;
+        std::vector<Line> lines;
+
+        bool operator==(const State &) const = default;
+    };
+
+    /** Capture the complete tag/LRU state. */
+    State save() const;
+
+    /** Restore a snapshot taken from a same-geometry cache. Reuses the
+     *  existing tag array; no allocation in steady state. */
+    void restore(const State &state);
+
     /** Line-aligned address containing @p addr. */
     Addr lineAddrOf(Addr addr) const { return addr & ~lineMask_; }
 
@@ -77,14 +110,6 @@ class Cache
     unsigned lineBytes() const { return lineBytes_; }
 
   private:
-    struct Line
-    {
-        bool valid = false;
-        Addr lineAddr = 0;
-        std::uint64_t lruStamp = 0;
-        bool nonSpec = false;
-    };
-
     unsigned setIndexOf(Addr line_addr) const
     {
         return static_cast<unsigned>((line_addr >> lineShift_) &

@@ -12,8 +12,9 @@
 #ifndef AMULET_UARCH_DYN_INST_HH
 #define AMULET_UARCH_DYN_INST_HH
 
+#include <array>
+#include <cassert>
 #include <cstdint>
-#include <vector>
 
 #include "common/types.hh"
 #include "isa/flags.hh"
@@ -62,7 +63,39 @@ struct DynInst
         bool forAddress; ///< feeds effective-address computation
         bool forData;    ///< feeds the data computation / store value
     };
-    std::vector<SrcReg> srcs;
+
+    /** Distinct source registers an instruction can name: memory base,
+     *  memory index, register source, register destination (RMW-style
+     *  old value), and Loopne's implicit RCX — at most four at once
+     *  (Loopne has no memory operand); one spare slot for safety. */
+    static constexpr std::size_t kMaxSrcRegs = 5;
+
+    /** Inline fixed-capacity source list. The ISA bounds the source
+     *  count (kMaxSrcRegs), so heap-backed storage — one allocation
+     *  per fetched instruction, the single hottest allocation in the
+     *  cycle loop — buys nothing. Keeping the sources inline also
+     *  makes DynInst trivially copyable, which is what lets the ROB
+     *  ring buffer recycle its slots by plain assignment. */
+    struct SrcList
+    {
+        std::array<SrcReg, kMaxSrcRegs> v;
+        std::uint8_t n = 0;
+
+        void
+        push_back(const SrcReg &src)
+        {
+            assert(n < kMaxSrcRegs && "source-register bound exceeded");
+            v[n++] = src;
+        }
+
+        SrcReg *begin() { return v.data(); }
+        SrcReg *end() { return v.data() + n; }
+        const SrcReg *begin() const { return v.data(); }
+        const SrcReg *end() const { return v.data() + n; }
+        std::size_t size() const { return n; }
+        bool empty() const { return n == 0; }
+    };
+    SrcList srcs;
     SeqNum flagsProducer = kNoSeq;
     bool needsFlags = false;
     /// @}

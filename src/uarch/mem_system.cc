@@ -43,6 +43,18 @@ SideBuffer::snapshot() const
     return out;
 }
 
+std::vector<Addr>
+SideBuffer::save() const
+{
+    return {lines_.begin(), lines_.end()};
+}
+
+void
+SideBuffer::restore(const std::vector<Addr> &lines)
+{
+    lines_.assign(lines.begin(), lines.end());
+}
+
 MemSystem::MemSystem(const CoreParams &params, EventLog &log)
     : params_(params),
       log_(log),
@@ -51,6 +63,13 @@ MemSystem::MemSystem(const CoreParams &params, EventLog &log)
       l2_(params.l2),
       dtlb_(params.tlbEntries)
 {
+    // Pre-size the hot-path containers so steady-state simulation never
+    // allocates: the queues keep their slots across resetInFlight().
+    l1dQueue_.reserve(64);
+    ifetchQueue_.reserve(16);
+    l1dMshrs_.reserve(params.l1dMshrs);
+    l1iMshrs_.reserve(params.l1iMshrs);
+    hitCompletions_.reserve(32);
 }
 
 void
@@ -339,7 +358,7 @@ MemSystem::flushCleanups()
             continue;
         }
         MemReq req = l1dQueue_[i];
-        l1dQueue_.erase(l1dQueue_.begin() + static_cast<long>(i));
+        l1dQueue_.erase(i);
         complete(std::move(req));
     }
     cleanupInProgress_ = false;
@@ -352,6 +371,36 @@ MemSystem::invalidateAll()
     l1i_.invalidateAll();
     l2_.invalidateAll();
     dtlb_.flush();
+}
+
+MemSnapshot
+MemSystem::save() const
+{
+    MemSnapshot snap;
+    snap.l1d = l1d_.save();
+    snap.l1i = l1i_.save();
+    snap.l2 = l2_.save();
+    snap.dtlb = dtlb_.save();
+    if (sideBuffer_) {
+        snap.hasSideBuffer = true;
+        snap.sideBuffer = sideBuffer_->save();
+    }
+    return snap;
+}
+
+void
+MemSystem::restore(const MemSnapshot &snapshot)
+{
+    l1d_.restore(snapshot.l1d);
+    l1i_.restore(snapshot.l1i);
+    l2_.restore(snapshot.l2);
+    dtlb_.restore(snapshot.dtlb);
+    if (sideBuffer_) {
+        // A snapshot taken before any side buffer was attached restores
+        // as empty — leaving current contents in place would violate
+        // save()/restore() round-trip equality.
+        sideBuffer_->restore(snapshot.sideBuffer);
+    }
 }
 
 } // namespace amulet::uarch

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/event_log.hh"
+#include "common/ring_deque.hh"
 #include "common/types.hh"
 #include "uarch/cache.hh"
 #include "uarch/params.hh"
@@ -90,9 +91,39 @@ class SideBuffer
     std::size_t size() const { return lines_.size(); }
     std::vector<Addr> snapshot() const;
 
+    /** FIFO-order contents (snapshot() sorts; replacement order needs
+     *  the raw order). */
+    std::vector<Addr> save() const;
+    void restore(const std::vector<Addr> &lines);
+
   private:
     unsigned capacity_;
     std::deque<Addr> lines_;
+};
+
+/**
+ * Full μarch warm-state snapshot of the memory system: every cache
+ * tag array (with LRU clocks and CleanupSpec noClean marks), the
+ * D-TLB, and the defense side buffer's contents. Captures exactly the
+ * state that persists *between* runs — in-flight queues and MSHRs are
+ * excluded because save/restore is only meaningful at run boundaries,
+ * where resetInFlight() has emptied them.
+ *
+ * The prime-memoization contract (src/executor/README.md) rests on
+ * this being complete: simulation after restore(snapshot) must be
+ * cycle-identical to simulation after re-running the accesses that
+ * produced the snapshot.
+ */
+struct MemSnapshot
+{
+    Cache::State l1d;
+    Cache::State l1i;
+    Cache::State l2;
+    Tlb::State dtlb;
+    bool hasSideBuffer = false;
+    std::vector<Addr> sideBuffer;
+
+    bool operator==(const MemSnapshot &) const = default;
 };
 
 /** The full cache/TLB hierarchy with timing. */
@@ -146,6 +177,15 @@ class MemSystem
     /** Invalidate L1I + L1D + L2 and flush the TLB. */
     void invalidateAll();
 
+    /** @name Warm-state snapshot (prime memoization)
+     *  Only valid at run boundaries: the caller must be quiescent
+     *  (idle(), or resetInFlight() about to run) — in-flight requests
+     *  are not part of the snapshot. */
+    /// @{
+    MemSnapshot save() const;
+    void restore(const MemSnapshot &snapshot);
+    /// @}
+
     /** @name Direct structure access (defenses, priming, traces) */
     /// @{
     Cache &l1d() { return l1d_; }
@@ -197,13 +237,17 @@ class MemSystem
     SideBuffer *sideBuffer_ = nullptr;
     CompletionHandler onComplete_;
 
-    std::deque<MemReq> l1dQueue_;
+    /** In-order controller queues. RingDeque so the per-run clear in
+     *  resetInFlight() keeps the slot arrays: after the first input no
+     *  queue operation allocates (std::deque frees its block map on
+     *  clear, costing one allocation churn per input). */
+    RingDeque<MemReq> l1dQueue_;
     std::vector<Mshr> l1dMshrs_;
     std::vector<PendingCompletion> hitCompletions_;
     Cycle cleanupBusyUntil_ = 0;
     bool cleanupInProgress_ = false;
 
-    std::deque<Addr> ifetchQueue_;
+    RingDeque<Addr> ifetchQueue_;
     std::vector<Mshr> l1iMshrs_;
     Cycle l2NextFree_ = 0; ///< shared L2/memory service bandwidth
 };

@@ -63,6 +63,13 @@ Pipeline::Pipeline(const CoreParams &params, mem::MemoryImage &memory,
     setDefense(defaultDefense_.get());
     mem_.setCompletionHandler(
         [this](const MemReq &req) { onMemReqComplete(req); });
+
+    // Pre-size the run-state containers once; reset() clears them
+    // without releasing storage, so the cycle loop runs allocation-free
+    // from the second input on.
+    rob_.reserve(params.robSize);
+    accessOrder_.reserve(1024);
+    branchPredOrder_.reserve(256);
 }
 
 Pipeline::~Pipeline() = default;
@@ -827,13 +834,14 @@ Pipeline::onMemReqComplete(const MemReq &req)
 }
 
 RunResult
-Pipeline::run()
+Pipeline::run(Cycle cycle_cap)
 {
     assert(prog_ && "no program loaded");
     reset();
 
+    const Cycle cap = cycle_cap ? cycle_cap : params_.maxCyclesPerRun;
     RunResult result;
-    while (!halted_ && now_ < params_.maxCyclesPerRun) {
+    while (!halted_ && now_ < cap) {
         ++now_;
         mem_.tick(now_);
         computeSafety();

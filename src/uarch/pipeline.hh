@@ -19,11 +19,11 @@
 #define AMULET_UARCH_PIPELINE_HH
 
 #include <array>
-#include <deque>
 #include <memory>
 #include <vector>
 
 #include "common/event_log.hh"
+#include "common/ring_deque.hh"
 #include "common/types.hh"
 #include "isa/program.hh"
 #include "mem/memory_image.hh"
@@ -96,8 +96,13 @@ class Pipeline
     void setArchRegs(const std::array<RegVal, isa::kNumRegs> &regs,
                      isa::Flags flags);
 
-    /** Run from instruction 0 until HALT commits (or the cycle cap). */
-    RunResult run();
+    /** Run from instruction 0 until HALT commits (or the cycle cap).
+     *  @p cycle_cap overrides params().maxCyclesPerRun when nonzero —
+     *  the harness uses it to run its fixed, known-terminating
+     *  boot/priming programs under a bound proportional to their own
+     *  length, so a deliberately tight test-run cap cannot truncate
+     *  startup or cache priming. */
+    RunResult run(Cycle cycle_cap = 0);
 
     /** @name State access */
     /// @{
@@ -133,7 +138,7 @@ class Pipeline
      *  squashed, or never existed). */
     DynInst *entry(SeqNum seq);
     /** The reorder buffer, oldest first. */
-    std::deque<DynInst> &rob() { return rob_; }
+    RingDeque<DynInst> &rob() { return rob_; }
     /** Is there an older in-flight load than @p seq marked unsafe-held?
      *  (SpecLFB's isPrevNoUnsafe check.) */
     bool olderUnsafeLoadExists(SeqNum seq) const;
@@ -189,7 +194,9 @@ class Pipeline
 
     /** @name Run state */
     /// @{
-    std::deque<DynInst> rob_;
+    /** Ring buffer sized to robSize up front: per-input reset keeps the
+     *  slots, so steady-state fetch/commit never allocates. */
+    RingDeque<DynInst> rob_;
     SeqNum nextSeq_ = 1;
     std::size_t fetchIdx_ = 0;
     bool fetchStalledOnL1i_ = false;

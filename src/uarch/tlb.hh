@@ -11,6 +11,7 @@
 #ifndef AMULET_UARCH_TLB_HH
 #define AMULET_UARCH_TLB_HH
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -44,15 +45,38 @@ class Tlb
     /** Sorted list of cached VPNs (μarch trace). */
     std::vector<Addr> snapshot() const;
 
-    unsigned capacity() const { return entries_; }
-    std::size_t size() const { return slots_.size(); }
-
-  private:
+    /** One TLB entry (public so snapshots can hold them). */
     struct Slot
     {
         Addr vpn;
         std::uint64_t lruStamp;
+
+        bool operator==(const Slot &) const = default;
     };
+
+    /** Full warm-state snapshot: entries plus the LRU clock, so a
+     *  restore reproduces the exact replacement order. */
+    struct State
+    {
+        std::uint64_t stamp = 0;
+        std::vector<Slot> slots;
+
+        bool operator==(const State &) const = default;
+    };
+
+    State save() const { return {stamp_, slots_}; }
+    void restore(const State &state)
+    {
+        assert(state.slots.size() <= entries_ &&
+               "TLB snapshot geometry mismatch");
+        stamp_ = state.stamp;
+        slots_ = state.slots;
+    }
+
+    unsigned capacity() const { return entries_; }
+    std::size_t size() const { return slots_.size(); }
+
+  private:
 
     unsigned entries_;
     std::uint64_t stamp_ = 0;

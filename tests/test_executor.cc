@@ -166,8 +166,32 @@ TEST(Harness, TimeBreakdownAccumulates)
     harness.runInput(f.input);
     const auto &t = harness.times();
     EXPECT_GT(t.startupSec, 0.0);
+    EXPECT_GT(t.primeSec, 0.0); // input-switch cost, split from simulate
     EXPECT_GT(t.simulateSec, 0.0);
     EXPECT_GE(t.traceExtractSec, 0.0);
+    EXPECT_GE(t.totalSec(),
+              t.startupSec + t.primeSec + t.simulateSec);
+}
+
+// The memo must survive the harness's own context save/restore cycle
+// and stay byte-stable across many inputs: with the cache on, repeated
+// runs of one input produce the trace the uncached harness produces.
+TEST(Harness, PrimeCacheMatchesRealPriming)
+{
+    Fixture f;
+    auto cached_cfg = fastConfig();
+    auto uncached_cfg = fastConfig();
+    uncached_cfg.primeCache = false;
+    SimHarness cached(cached_cfg);
+    SimHarness uncached(uncached_cfg);
+    cached.loadProgram(f.fp.get());
+    uncached.loadProgram(f.fp.get());
+    for (int i = 0; i < 3; ++i) {
+        const auto a = cached.runInput(f.input);
+        const auto b = uncached.runInput(f.input);
+        EXPECT_EQ(a.trace, b.trace) << "run " << i;
+        EXPECT_EQ(a.run.cycles, b.run.cycles) << "run " << i;
+    }
 }
 
 TEST(HarnessBatch, EmptyBatchRunsNothing)

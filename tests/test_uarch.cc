@@ -2,13 +2,17 @@
  * @file
  * Unit tests for the μarch building blocks: caches (LRU, eviction,
  * noClean metadata), TLB, branch/memory-dependence predictors (including
- * context snapshot round-trips), side buffers, and the memory system's
- * MSHR/queue behaviour.
+ * context snapshot round-trips), side buffers, the memory system's
+ * MSHR/queue behaviour, and the MemSnapshot warm-state save/restore the
+ * prime cache rests on.
  */
 
 #include <gtest/gtest.h>
 
 #include "common/event_log.hh"
+#include "core/generator.hh"
+#include "core/input_gen.hh"
+#include "executor/sim_harness.hh"
 #include "uarch/cache.hh"
 #include "uarch/mem_system.hh"
 #include "uarch/predictors.hh"
@@ -89,6 +93,27 @@ TEST(Cache, SnapshotSortedAndComplete)
     EXPECT_TRUE(std::is_sorted(snap.begin(), snap.end()));
     cache.invalidateAll();
     EXPECT_TRUE(cache.snapshot().empty());
+}
+
+TEST(Cache, SaveRestoreRoundTripKeepsLruOrder)
+{
+    CacheParams p{1024, 2, 64}; // 8 sets, 2 ways
+    Cache cache(p);
+    cache.install(0x0000, true);
+    cache.install(0x2000);
+    cache.touch(0x0000); // victim is now 0x2000
+    const Cache::State state = cache.save();
+
+    cache.invalidateAll();
+    cache.install(0x4000);
+    EXPECT_FALSE(cache.save() == state);
+
+    cache.restore(state);
+    EXPECT_EQ(cache.save(), state);
+    EXPECT_TRUE(cache.nonSpecTouched(0x0000));
+    EXPECT_EQ(cache.victimOf(0x0000), 0x2000u)
+        << "LRU order must survive the round trip";
+    EXPECT_EQ(cache.install(0x4000), 0x2000u);
 }
 
 TEST(Tlb, FillEvictLru)
@@ -338,6 +363,101 @@ TEST_F(MemSystemTest, DtlbAccessFillsAndReportsWalk)
     const unsigned lat3 = mem_.dtlbAccess(0x801ffc, 8, 3, 0x400008);
     EXPECT_EQ(lat3, params_.tlbWalkLatency);
     EXPECT_TRUE(mem_.dtlb().present(0x802));
+}
+
+// === MemSnapshot: warm-state save/restore ==================================
+
+// The snapshot must reproduce *everything* the caches retain between
+// runs: tag presence, the exact LRU replacement order, CleanupSpec's
+// noClean marks, the D-TLB, and the defense side buffer's FIFO order.
+TEST_F(MemSystemTest, SnapshotRoundTripRestoresTagsLruNoCleanSideBuffer)
+{
+    SideBuffer buf(4);
+    mem_.setSideBuffer(&buf);
+
+    mem_.l1d().install(0x0000, true); // noClean-marked
+    mem_.l1d().install(0x2000);
+    mem_.l1d().touch(0x0000); // LRU order: 0x2000 is now the victim
+    mem_.l1i().install(0x4000);
+    mem_.l2().install(0x8000);
+    mem_.dtlb().fill(0x12);
+    mem_.dtlb().fill(0x34);
+    mem_.dtlb().touch(0x12);
+    buf.insert(0x100);
+    buf.insert(0x200);
+
+    const MemSnapshot snap = mem_.save();
+    ASSERT_TRUE(snap.hasSideBuffer);
+
+    // Clobber everything, then restore.
+    mem_.invalidateAll();
+    buf.clear();
+    mem_.l1d().install(0x6000, true);
+    buf.insert(0x999);
+    EXPECT_FALSE(mem_.save() == snap);
+
+    mem_.restore(snap);
+    EXPECT_EQ(mem_.save(), snap);
+    EXPECT_TRUE(mem_.l1d().present(0x0000));
+    EXPECT_TRUE(mem_.l1d().nonSpecTouched(0x0000));
+    EXPECT_FALSE(mem_.l1d().nonSpecTouched(0x2000));
+    EXPECT_FALSE(mem_.l1d().present(0x6000));
+    EXPECT_TRUE(mem_.l1i().present(0x4000));
+    EXPECT_TRUE(mem_.l2().present(0x8000));
+    EXPECT_TRUE(mem_.dtlb().present(0x12));
+    EXPECT_TRUE(buf.contains(0x100));
+    EXPECT_FALSE(buf.contains(0x999));
+    // FIFO replacement order restored: the next two inserts must evict
+    // 0x100 then 0x200.
+    buf.insert(0x300);
+    buf.insert(0x400);
+    EXPECT_EQ(buf.insert(0x500), 0x100u);
+    EXPECT_EQ(buf.insert(0x600), 0x200u);
+}
+
+// Per defense: after a real input run through the full harness, the
+// memory system's warm state must survive a save -> clobber -> restore
+// round trip exactly, side buffer included. This is the state-level
+// guarantee the prime-cache memoization relies on.
+TEST(MemSnapshot, RoundTripPerDefense)
+{
+    namespace def = amulet::defense;
+    core::GeneratorConfig gcfg;
+    gcfg.map = mem::AddressMap{};
+    core::ProgramGenerator gen(gcfg, Rng(5));
+    const isa::Program prog = gen.generate();
+    const isa::FlatProgram fp(prog, gcfg.map.codeBase);
+    core::InputGenConfig icfg;
+    icfg.map = gcfg.map;
+    core::InputGenerator igen(icfg, Rng(6));
+    const arch::Input input = igen.generate(0);
+
+    for (def::DefenseKind kind : def::allDefenseKinds()) {
+        SCOPED_TRACE(def::defenseKindName(kind));
+        executor::HarnessConfig cfg;
+        cfg.bootInsts = 500;
+        cfg.defense.kind = kind;
+        cfg.prime = (kind == def::DefenseKind::CleanupSpec ||
+                     kind == def::DefenseKind::SpecLfb)
+                        ? executor::PrimeMode::Invalidate
+                        : executor::PrimeMode::ConflictFill;
+        executor::SimHarness harness(cfg);
+        harness.loadProgram(&fp);
+        harness.runInput(input);
+
+        MemSystem &mem = harness.pipeline().memSys();
+        const MemSnapshot snap = mem.save();
+        const bool has_side_buffer =
+            kind == def::DefenseKind::InvisiSpec ||
+            kind == def::DefenseKind::SpecLfb;
+        EXPECT_EQ(snap.hasSideBuffer, has_side_buffer);
+
+        mem.invalidateAll();
+        mem.l1d().install(0xdead000, true);
+        EXPECT_FALSE(mem.save() == snap);
+        mem.restore(snap);
+        EXPECT_EQ(mem.save(), snap);
+    }
 }
 
 TEST_F(MemSystemTest, FlushCleanupsAppliesQueuedRollbacks)
