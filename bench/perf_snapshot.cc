@@ -3,13 +3,14 @@
  * Machine-readable performance snapshot: the data source behind
  * BENCH_*.json (scripts/bench.sh).
  *
- * Emits one JSON object on stdout with tests/second and the full
- * TimeBreakdown for a seeded campaign per defense, plus the prime-cache
- * off→on ablation on the table3 baseline campaign (CT-COND, inproc,
- * jobs=1). Wall-clock numbers are hardware-dependent — the JSON is a
- * trajectory point for regression *tracking*, not a gate; the
- * `speedup` field of the ablation is the one shape CI can reason
- * about across hosts.
+ * Emits one JSON object on stdout with tests/second, the full
+ * TimeBreakdown, and per-input simulator latency percentiles (from the
+ * telemetry registry's sim.inputLatencySec histogram) for a seeded
+ * campaign per defense, plus the prime-cache off→on ablation on the
+ * table3 baseline campaign (CT-COND, inproc, jobs=1). Wall-clock
+ * numbers are hardware-dependent — the JSON is a trajectory point for
+ * regression *tracking*, not a gate; the `speedup` field of the
+ * ablation is the one shape CI can reason about across hosts.
  *
  * AMULET_BENCH_SCALE scales campaign sizes like every other bench.
  */
@@ -48,6 +49,26 @@ run(core::CampaignConfig cfg)
     return core::Campaign(cfg).run();
 }
 
+/** Per-input sim latency percentiles out of the merged telemetry
+ *  registry (microseconds; one histogram sample per harness input
+ *  run). */
+Json
+latencyJson(const core::CampaignStats &stats)
+{
+    Json j = Json::object();
+    const auto it = stats.metrics.find("sim.inputLatencySec");
+    if (it == stats.metrics.end())
+        return j;
+    const telemetry::MetricValue &lat = it->second;
+    j.set("count", Json::number(lat.count));
+    j.set("meanUs",
+          Json::number(lat.count ? lat.sum / lat.count * 1e6 : 0.0));
+    j.set("p50Us", Json::number(lat.percentile(0.5) * 1e6));
+    j.set("p95Us", Json::number(lat.percentile(0.95) * 1e6));
+    j.set("p99Us", Json::number(lat.percentile(0.99) * 1e6));
+    return j;
+}
+
 } // namespace
 
 int
@@ -67,6 +88,7 @@ main()
         j.set("confirmedViolations",
               Json::number(stats.confirmedViolations));
         j.set("times", timesJson(stats.times));
+        j.set("simInputLatency", latencyJson(stats));
         defenses.push(std::move(j));
     }
 

@@ -20,12 +20,18 @@
  *   campaign_cli replay --corpus-dir corpus/ --minimize
  *   campaign_cli export --corpus-dir corpus/ --out corpus.jsonl
  *   campaign_cli merge --corpus-dir merged/ shard0/ shard1/
+ *
+ * Telemetry (src/telemetry/):
+ *   campaign_cli --trace-out trace.json ...     # Perfetto-loadable
+ *   campaign_cli --heartbeat - --jobs 8 ...     # live JSONL to stdout
+ *   campaign_cli stats --corpus-dir corpus/     # persisted metrics
  */
 
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <string>
 #include <vector>
 
@@ -49,6 +55,7 @@ usage(const char *argv0)
         "       %s replay --corpus-dir DIR [--minimize] [--root-cause]\n"
         "       %s export --corpus-dir DIR [--out FILE]\n"
         "       %s merge  --corpus-dir DST SRC...\n"
+        "       %s stats  --corpus-dir DIR [--top N]\n"
         "run options:\n"
         "  --defense NAME    baseline|invisispec|cleanupspec|stt|speclfb\n"
         "  --contract NAME   CT-SEQ|CT-COND|ARCH-SEQ   (default CT-SEQ)\n"
@@ -82,10 +89,20 @@ usage(const char *argv0)
         "  --checkpoint-every N   programs per checkpoint (default 8)\n"
         "  --max-programs N  stop after N programs this process "
         "(resumable)\n"
+        "telemetry options (run; observability only — results and "
+        "exports are byte-identical on/off):\n"
+        "  --trace-out FILE  write a Chrome/Perfetto trace-event JSON "
+        "of every\n"
+        "                    pipeline stage, backend op, and wire round "
+        "trip\n"
+        "  --heartbeat FILE  stream live campaign progress as JSONL "
+        "('-' = stdout)\n"
+        "  --heartbeat-interval SEC   seconds between heartbeat lines "
+        "(default 1)\n"
         "discovery:\n"
         "  --list            print every defense, contract, trace format "
         "and backend\n",
-        argv0, argv0, argv0, argv0);
+        argv0, argv0, argv0, argv0, argv0);
 }
 
 /** Flag-value discovery: every name each selector flag accepts. */
@@ -145,6 +162,23 @@ parseU32(const char *flag, const char *text)
         std::exit(2);
     }
     return static_cast<unsigned>(value);
+}
+
+/** Parse a positive seconds value (fractions allowed). */
+double
+parseSec(const char *flag, const char *text)
+{
+    errno = 0;
+    char *end = nullptr;
+    const double value = std::strtod(text, &end);
+    if (errno != 0 || end == text || *end != '\0' || !(value > 0)) {
+        std::fprintf(stderr,
+                     "campaign_cli: invalid value '%s' for %s "
+                     "(expected a positive number of seconds)\n",
+                     text, flag);
+        std::exit(2);
+    }
+    return value;
 }
 
 [[noreturn]] void
@@ -272,6 +306,103 @@ cmdExport(const std::string &dir, const std::string &out_file)
 }
 
 int
+cmdStats(const std::string &dir, unsigned top)
+{
+    using namespace amulet;
+    if (dir.empty()) {
+        std::fprintf(stderr, "campaign_cli: --corpus-dir is required for "
+                             "this subcommand\n");
+        return 2;
+    }
+    const std::string text = corpus::CorpusStore::readMetricsText(dir);
+    if (text.empty()) {
+        std::fprintf(stderr,
+                     "campaign_cli: no metrics.json in %s (run a "
+                     "campaign with --corpus-dir first)\n",
+                     dir.c_str());
+        return 1;
+    }
+    try {
+        const corpus::Json doc = corpus::Json::parse(text);
+        const corpus::Json &metrics = doc.at("metrics");
+        auto timer_sec = [&](const char *name) -> double {
+            const corpus::Json *m = metrics.find(name);
+            return m ? m->at("totalSec").asDouble() : 0.0;
+        };
+
+        // Campaign-phase + harness-section breakdown, in pipeline
+        // order (the table-2 shape of stats.report()).
+        std::printf("time breakdown (worker-seconds):\n");
+        static const struct
+        {
+            const char *metric;
+            const char *label;
+        } kSections[] = {
+            {"time.testGen", "test generation"},
+            {"time.ctrace", "contract traces"},
+            {"time.filter", "filtering"},
+            {"time.startup", "sim startup"},
+            {"time.prime", "cache priming"},
+            {"time.simulate", "simulation"},
+            {"time.traceExtract", "trace extract"},
+        };
+        for (const auto &section : kSections)
+            std::printf("  %-16s %10.3f\n", section.label,
+                        timer_sec(section.metric));
+
+        std::printf("counters:\n");
+        for (const auto &[name, value] : metrics.members()) {
+            const std::string kind = value.at("kind").asStr();
+            if (kind == "counter") {
+                std::printf("  %-32s %12llu\n", name.c_str(),
+                            static_cast<unsigned long long>(
+                                value.at("value").asU64()));
+            } else if (kind == "gauge") {
+                std::printf("  %-32s %12.3f\n", name.c_str(),
+                            value.at("value").asDouble());
+            }
+        }
+
+        if (const corpus::Json *lat = metrics.find("sim.inputLatencySec")) {
+            std::printf("sim input latency: p50=%.1fus p95=%.1fus "
+                        "p99=%.1fus mean=%.1fus (n=%llu)\n",
+                        lat->at("p50").asDouble() * 1e6,
+                        lat->at("p95").asDouble() * 1e6,
+                        lat->at("p99").asDouble() * 1e6,
+                        lat->at("mean").asDouble() * 1e6,
+                        static_cast<unsigned long long>(
+                            lat->at("count").asU64()));
+        }
+
+        const corpus::Json &spans = doc.at("topSpans");
+        std::printf("slowest spans:\n");
+        unsigned shown = 0;
+        for (const corpus::Json &span : spans.items()) {
+            if (shown++ >= top)
+                break;
+            const std::int64_t program = static_cast<std::int64_t>(
+                span.at("program").asDouble());
+            std::printf("  %-20s %10.3fs  %-12s",
+                        span.at("name").asStr().c_str(),
+                        span.at("seconds").asDouble(),
+                        span.at("track").asStr().c_str());
+            if (program >= 0)
+                std::printf("  program %lld",
+                            static_cast<long long>(program));
+            std::printf("\n");
+        }
+        if (shown == 0)
+            std::printf("  (none recorded)\n");
+        return 0;
+    } catch (const corpus::CorpusError &e) {
+        std::fprintf(stderr, "campaign_cli: malformed metrics.json in %s: "
+                             "%s\n",
+                     dir.c_str(), e.what());
+        return 1;
+    }
+}
+
+int
 cmdMerge(const std::string &dst, const std::vector<std::string> &srcs)
 {
     using namespace amulet;
@@ -306,7 +437,7 @@ main(int argc, char **argv)
         command = argv[1];
         first_arg = 2;
         if (command != "run" && command != "replay" && command != "export"
-            && command != "merge") {
+            && command != "merge" && command != "stats") {
             std::fprintf(stderr, "campaign_cli: unknown subcommand '%s'\n",
                          command.c_str());
             usage(argv[0]);
@@ -325,6 +456,7 @@ main(int argc, char **argv)
     std::vector<std::string> positional;
     bool minimize = false;
     bool root_cause = false;
+    unsigned stats_top = 20;
 
     std::string current_arg;
     // Silently ignoring a flag the subcommand never reads (e.g.
@@ -457,6 +589,19 @@ main(int argc, char **argv)
         } else if (arg == "--max-programs") {
             only("run");
             cfg.maxProgramsThisRun = parseU32("--max-programs", next());
+        } else if (arg == "--trace-out") {
+            only("run");
+            cfg.telemetry.traceOutPath = next();
+        } else if (arg == "--heartbeat") {
+            only("run");
+            cfg.telemetry.heartbeatPath = next();
+        } else if (arg == "--heartbeat-interval") {
+            only("run");
+            cfg.telemetry.heartbeatIntervalSec =
+                parseSec("--heartbeat-interval", next());
+        } else if (arg == "--top") {
+            only("stats");
+            stats_top = parseU32("--top", next());
         } else if (arg == "--out") {
             only("export");
             out_file = next();
@@ -487,6 +632,8 @@ main(int argc, char **argv)
         return cmdExport(corpus_dir, out_file);
     if (command == "merge")
         return cmdMerge(corpus_dir, positional);
+    if (command == "stats")
+        return cmdStats(corpus_dir, stats_top);
 
     if (cfg.resume && corpus_dir.empty()) {
         std::fprintf(stderr, "campaign_cli: --resume requires "
@@ -529,6 +676,11 @@ main(int argc, char **argv)
         for (const auto &rec : stats.records)
             std::printf("  %s\n", rec.summary().c_str());
     } catch (const corpus::CorpusError &e) {
+        std::fprintf(stderr, "campaign_cli: %s\n", e.what());
+        return 1;
+    } catch (const std::exception &e) {
+        // Telemetry I/O failures (unwritable --trace-out/--heartbeat
+        // paths) surface here.
         std::fprintf(stderr, "campaign_cli: %s\n", e.what());
         return 1;
     }

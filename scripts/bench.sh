@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Machine-readable perf harness: build the tree, run bench/perf_snapshot,
 # and write the campaign-throughput trajectory point (tests/s per defense
-# + TimeBreakdown + the prime-cache off->on ablation) to BENCH_5.json.
+# + TimeBreakdown + per-input sim latency percentiles from the telemetry
+# registry + the prime-cache off->on ablation) to BENCH_6.json.
 #
 # Wall-clock numbers are hardware-dependent: the JSON is for tracking the
 # perf trajectory across commits on comparable hosts, and CI publishes it
@@ -12,7 +13,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_5.json}"
+OUT="${1:-BENCH_6.json}"
 JOBS="${VERIFY_JOBS:-$(nproc)}"
 
 cmake -B build -S . > /dev/null
@@ -28,10 +29,17 @@ import json, sys
 with open(sys.argv[1]) as f:
     data = json.load(f)
 for d in data["defenses"]:
+    lat = d.get("simInputLatency", {})
+    lat_txt = (f", input p50 {lat['p50Us']:.0f}us p95 {lat['p95Us']:.0f}us"
+               if lat else "")
     print(f"  {d['defense']:<12} {d['contract']:<9} "
           f"{d['testsPerSec']:9.1f} tests/s  "
           f"(prime {d['times']['primeSec']:.3f}s, "
-          f"simulate {d['times']['simulateSec']:.3f}s)")
+          f"simulate {d['times']['simulateSec']:.3f}s{lat_txt})")
+# The registry percentiles must be present and ordered for every defense.
+for d in data["defenses"]:
+    lat = d["simInputLatency"]
+    assert lat["count"] > 0 and lat["p50Us"] <= lat["p95Us"] <= lat["p99Us"], d
 a = data["primeCacheAblation"]
 print(f"  prime-cache ablation ({a['contract']}, {a['backend']}, "
       f"jobs={a['jobs']}): off {a['offTestsPerSec']:.1f} -> "

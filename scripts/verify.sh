@@ -155,6 +155,38 @@ cmp "${SMOKE}/be_inproc.jsonl" "${SMOKE}/be_crash.jsonl"
 
 echo "backend smoke: OK"
 
+# --- Telemetry smoke: observability must not move a record byte --------------
+# The telemetry contract (src/telemetry/README.md): tracing + heartbeats
+# are results-invisible — exports (headers included; the telemetry config
+# is excluded from the fingerprint) are byte-identical with them on and
+# off — and the side channels themselves are well-formed.
+
+echo "--- telemetry smoke: traced+heartbeat run exports identically"
+"${CLI}" "${CAMPAIGN[@]}" --corpus-dir "${SMOKE}/tel" --jobs 2 \
+    --trace-out "${SMOKE}/tel.trace.json" \
+    --heartbeat "${SMOKE}/tel.hb.jsonl" --heartbeat-interval 0.2 \
+    > /dev/null
+"${CLI}" export --corpus-dir "${SMOKE}/tel" --out "${SMOKE}/tel.jsonl" \
+    > /dev/null
+cmp "${SMOKE}/full.jsonl" "${SMOKE}/tel.jsonl"
+# The trace is one JSON document of Chrome trace events; the heartbeat
+# is JSONL with a final all-programs-done line.
+python3 - "${SMOKE}/tel.trace.json" "${SMOKE}/tel.hb.jsonl" <<'EOF'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+assert any(e.get("ph") == "X" and e["name"].startswith("stage.")
+           for e in trace["traceEvents"]), "no stage spans in trace"
+lines = [json.loads(l) for l in open(sys.argv[2])]
+assert lines, "empty heartbeat"
+assert lines[-1]["programsDone"] + lines[-1]["resumedPrograms"] == \
+    lines[-1]["programsTotal"], "final heartbeat incomplete"
+EOF
+# The metrics registry persisted next to the journal and renders.
+"${CLI}" stats --corpus-dir "${SMOKE}/tel" | grep -q "time breakdown"
+"${CLI}" stats --corpus-dir "${SMOKE}/tel" | grep -q "sim input latency"
+
+echo "telemetry smoke: OK"
+
 # --- Throughput canary: table3 filter + backend + prime-cache ablations ------
 # Scaled-down table3 run printing the before/after tests/s lines, so perf
 # regressions in the filter/batching/backend/priming paths are visible in

@@ -24,6 +24,7 @@
 #include "core/violation.hh"
 #include "executor/backend.hh"
 #include "executor/sim_harness.hh"
+#include "telemetry/telemetry.hh"
 
 namespace amulet::core
 {
@@ -96,6 +97,13 @@ struct CampaignConfig
      *  time-budgeted runs and for kill/resume testing. */
     unsigned maxProgramsThisRun = 0;
     /// @}
+
+    /** Observability knobs (src/telemetry/): span tracing (--trace-out)
+     *  and live heartbeats (--heartbeat). Runtime-only like jobs: never
+     *  part of the campaign definition or the corpus fingerprint, and
+     *  results are byte-identical with every knob on or off
+     *  (tests/test_telemetry.cc). */
+    telemetry::TelemetryConfig telemetry;
 };
 
 /** Per-trace-format tallies for the all-formats mode. */
@@ -164,6 +172,11 @@ struct CampaignStats
     unsigned resumedPrograms = 0;
     executor::TimeBreakdown times;
     std::map<executor::TraceFormat, FormatTally> formatTallies;
+    /** Merged campaign metrics (src/telemetry/): the `time.*` timers
+     *  are the source the `times` fields above are derived from; also
+     *  carries op/wire timers, the sim.inputLatencySec histogram, and
+     *  campaign.* roll-ups. */
+    telemetry::MetricsSnapshot metrics;
 
     bool detected() const { return confirmedViolations > 0; }
     std::size_t uniqueViolations() const { return signatureCounts.size(); }

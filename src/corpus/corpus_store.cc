@@ -217,6 +217,28 @@ CorpusStore::size() const
     return count_;
 }
 
+void
+CorpusStore::writeMetrics(const std::string &json)
+{
+    const std::string path = (fs::path(dir_) / "metrics.json").string();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << json << "\n";
+    if (!out)
+        throw CorpusError("cannot write " + path);
+}
+
+std::string
+CorpusStore::readMetricsText(const std::string &dir)
+{
+    const std::string path = (fs::path(dir) / "metrics.json").string();
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return "";
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
 core::CampaignConfig
 CorpusStore::readConfig(const std::string &dir)
 {

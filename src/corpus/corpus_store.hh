@@ -9,6 +9,11 @@
  *     journal.jsonl  — one confirmed ViolationRecord per line, appended
  *                      (and flushed) the moment the sink confirms it
  *     checkpoint.json — periodic resume state (see checkpoint.hh)
+ *     metrics.json   — the run's merged telemetry registry (counters,
+ *                      timers, latency percentiles, top spans). A
+ *                      runtime artifact like the checkpoint: not part
+ *                      of the fingerprint, never exported, overwritten
+ *                      per run (campaign_cli stats renders it).
  *
  * The journal is append-only and flushed per record, so a killed
  * campaign keeps every violation confirmed before the kill. The
@@ -64,6 +69,16 @@ class CorpusStore
 
     /** Records currently journaled (journal order). */
     std::size_t size() const;
+
+    /**
+     * Overwrite metrics.json with @p json (one telemetry-registry
+     * document, see telemetry::metricsJson). Runtime observability
+     * only — not fingerprinted, not exported, latest run wins.
+     */
+    void writeMetrics(const std::string &json);
+
+    /** Raw metrics.json text of the corpus at @p dir ("" if none). */
+    static std::string readMetricsText(const std::string &dir);
 
     const std::string &dir() const { return dir_; }
 

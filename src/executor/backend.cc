@@ -5,6 +5,7 @@
 #include "core/signature.hh"
 #include "executor/backend_async.hh"
 #include "executor/backend_subprocess.hh"
+#include "telemetry/telemetry.hh"
 
 namespace amulet::executor
 {
@@ -109,6 +110,7 @@ InProcessBackend::saveContext()
 void
 InProcessBackend::restoreContext(const UarchContext &ctx)
 {
+    telemetry::SpanScope span(telemetry_, "op.restoreContext");
     harness_.restoreContext(ctx);
 }
 
@@ -116,6 +118,7 @@ SimBackend::BatchOutput
 InProcessBackend::dispatchBatch(const std::vector<const arch::Input *> &batch,
                                 const std::vector<TraceFormat> *extraFormats)
 {
+    telemetry::SpanScope span(telemetry_, "op.dispatchBatch");
     return harness_.runBatch(batch, extraFormats);
 }
 
@@ -123,6 +126,7 @@ SimBackend::SingleOutput
 InProcessBackend::runOne(const arch::Input &input,
                          const std::vector<TraceFormat> *extraFormats)
 {
+    telemetry::SpanScope span(telemetry_, "op.runOne");
     SingleOutput out;
     SimHarness::RunOutput run = harness_.runInput(input);
     out.trace = std::move(run.trace);
@@ -143,8 +147,18 @@ InProcessBackend::classify(const arch::Input &inputA,
     if (!flat_)
         throw std::logic_error("InProcessBackend: classify with no "
                                "loaded program");
+    telemetry::SpanScope span(telemetry_, "op.classify");
     return core::classifyViolation(harness_, *flat_, inputA, inputB, ctxA,
                                    ctxB);
+}
+
+void
+InProcessBackend::setTelemetry(telemetry::TelemetrySink *sink)
+{
+    telemetry_ = sink;
+    // The harness shares this backend's thread, so it can share the
+    // sink (sim.inputLatencySec histogram).
+    harness_.setTelemetry(sink);
 }
 
 // === Factory ===============================================================

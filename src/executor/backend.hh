@@ -43,6 +43,11 @@
 
 #include "executor/sim_harness.hh"
 
+namespace amulet::telemetry
+{
+class TelemetrySink;
+}
+
 namespace amulet::executor
 {
 
@@ -179,7 +184,21 @@ class SimBackend
      *  sync(). */
     virtual const TimeBreakdown &times() = 0;
 
+    /**
+     * Attach a telemetry sink (src/telemetry/) for op timers/spans and
+     * the per-input sim latency histogram; null detaches. The sink must
+     * be dedicated to this backend: backends that run operations on
+     * their own simulation thread record into it from that thread.
+     * Attach before the first operation. Observability only — the
+     * operation sequence is identical with or without a sink.
+     */
+    virtual void setTelemetry(telemetry::TelemetrySink *sink)
+    {
+        telemetry_ = sink;
+    }
+
   protected:
+    telemetry::TelemetrySink *telemetry_ = nullptr;
     /** Eager-result stores for the default submit/collect. */
     std::map<Ticket, BatchOutput> eagerBatches_;
     std::map<Ticket, SingleOutput> eagerRuns_;
@@ -208,6 +227,7 @@ class InProcessBackend final : public SimBackend
                          const arch::Input &inputB, const UarchContext &ctxA,
                          const UarchContext &ctxB) override;
     const TimeBreakdown &times() override { return harness_.times(); }
+    void setTelemetry(telemetry::TelemetrySink *sink) override;
 
     /** The wrapped harness (root-cause demos, tests). */
     SimHarness &harness() { return harness_; }

@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "core/signature.hh"
+#include "telemetry/telemetry.hh"
 
 namespace amulet::executor
 {
@@ -55,9 +56,21 @@ class AsyncBackend final : public SimBackend
     {
         // Fire-and-forget: any failure surfaces at the next wait point.
         enqueue([this, &flat](SimHarness &h) {
+            telemetry::SpanScope span(telemetry_, "op.loadProgram");
             flat_ = &flat;
             h.loadProgram(&flat);
         });
+    }
+
+    void
+    setTelemetry(telemetry::TelemetrySink *sink) override
+    {
+        // Ops execute (and record) on the simulation thread, so the
+        // sink must be dedicated to this backend — never the shard
+        // worker's own. Routed through the queue to keep every sink
+        // access on that one thread.
+        telemetry_ = sink;
+        enqueue([sink](SimHarness &h) { h.setTelemetry(sink); });
     }
 
     UarchContext
@@ -71,7 +84,10 @@ class AsyncBackend final : public SimBackend
     void
     restoreContext(const UarchContext &ctx) override
     {
-        enqueue([ctx](SimHarness &h) { h.restoreContext(ctx); });
+        enqueue([this, ctx](SimHarness &h) {
+            telemetry::SpanScope span(telemetry_, "op.restoreContext");
+            h.restoreContext(ctx);
+        });
     }
 
     BatchOutput
@@ -94,6 +110,7 @@ class AsyncBackend final : public SimBackend
                           : nullptr;
         const std::uint64_t seq =
             enqueue([this, ticket, batch, extras](SimHarness &h) {
+                telemetry::SpanScope span(telemetry_, "op.dispatchBatch");
                 BatchOutput out = h.runBatch(batch, extras.get());
                 std::lock_guard<std::mutex> lock(mu_);
                 batches_.emplace(ticket, std::move(out));
@@ -133,6 +150,7 @@ class AsyncBackend final : public SimBackend
                           : nullptr;
         const std::uint64_t seq =
             enqueue([this, ticket, &input, extras](SimHarness &h) {
+                telemetry::SpanScope span(telemetry_, "op.runOne");
                 SingleOutput out;
                 SimHarness::RunOutput run = h.runInput(input);
                 out.trace = std::move(run.trace);
@@ -171,6 +189,7 @@ class AsyncBackend final : public SimBackend
             if (!flat_)
                 throw std::logic_error("AsyncBackend: classify with no "
                                        "loaded program");
+            telemetry::SpanScope span(telemetry_, "op.classify");
             signature = core::classifyViolation(h, *flat_, inputA, inputB,
                                                 ctxA, ctxB);
         }));

@@ -14,6 +14,7 @@
 
 #include "executor/sim_protocol.hh"
 #include "isa/disasm.hh"
+#include "telemetry/telemetry.hh"
 
 namespace amulet::executor
 {
@@ -276,6 +277,11 @@ SubprocessBackend::recvLine(std::string &line)
 corpus::Json
 SubprocessBackend::roundTrip(const Json &request)
 {
+    // The wire span covers serialization, the worker's execution, and
+    // reply parsing — the true cost of shipping this op out of process
+    // (restarted attempts included).
+    const std::string spanName = "wire." + request.at("op").asStr();
+    telemetry::SpanScope span(telemetry_, spanName.c_str());
     const std::string text = request.dump();
     // One retry on a fresh worker: the crash handler re-establishes the
     // exact pre-operation state (config, program, predictor context),
@@ -284,6 +290,8 @@ SubprocessBackend::roundTrip(const Json &request)
     for (int attempt = 0; attempt < 2; ++attempt) {
         if (pid_ < 0) {
             ++restarts_;
+            if (telemetry_)
+                telemetry_->noteBackendRestart();
             spawnWorker();
         }
         std::string reply_text;
@@ -306,6 +314,7 @@ void
 SubprocessBackend::loadProgram(const isa::Program &source,
                                const isa::FlatProgram &)
 {
+    telemetry::SpanScope span(telemetry_, "op.loadProgram");
     programText_ = isa::formatProgram(source);
     Json req = Json::object();
     req.set("op", Json::str("load"));
@@ -329,6 +338,7 @@ SubprocessBackend::saveContext()
 void
 SubprocessBackend::restoreContext(const UarchContext &ctx)
 {
+    telemetry::SpanScope span(telemetry_, "op.restoreContext");
     Json req = Json::object();
     req.set("op", Json::str("restore"));
     req.set("ctx", corpus::toJson(ctx));
@@ -340,6 +350,7 @@ SimBackend::BatchOutput
 SubprocessBackend::dispatchBatch(const std::vector<const arch::Input *> &batch,
                                  const std::vector<TraceFormat> *extraFormats)
 {
+    telemetry::SpanScope span(telemetry_, "op.dispatchBatch");
     Json inputs = Json::array();
     for (const arch::Input *input : batch)
         inputs.push(corpus::toJson(*input));
@@ -361,6 +372,7 @@ SimBackend::SingleOutput
 SubprocessBackend::runOne(const arch::Input &input,
                           const std::vector<TraceFormat> *extraFormats)
 {
+    telemetry::SpanScope span(telemetry_, "op.runOne");
     Json req = Json::object();
     req.set("op", Json::str("run"));
     req.set("input", corpus::toJson(input));
@@ -382,6 +394,7 @@ SubprocessBackend::classify(const arch::Input &inputA,
                             const arch::Input &inputB,
                             const UarchContext &ctxA, const UarchContext &ctxB)
 {
+    telemetry::SpanScope span(telemetry_, "op.classify");
     Json req = Json::object();
     req.set("op", Json::str("classify"));
     req.set("inputA", corpus::toJson(inputA));

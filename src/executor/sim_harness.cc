@@ -3,6 +3,8 @@
 #include <cassert>
 #include <chrono>
 
+#include "telemetry/telemetry.hh"
+
 namespace amulet::executor
 {
 
@@ -261,6 +263,7 @@ SimHarness::runInput(const arch::Input &input)
     if (cfg_.naiveMode || !started_)
         start();
     assert(prog_ && "no test program loaded");
+    const auto t_input = Clock::now();
 
     // Input-switch cost is accounted separately (TimeBreakdown::
     // primeSec): it is what the prime cache optimizes, and folding it
@@ -290,7 +293,16 @@ SimHarness::runInput(const arch::Input &input)
     const auto t1 = Clock::now();
     out.trace = extractTrace(*pipe_, cfg_.traceFormat);
     times_.traceExtractSec += secondsSince(t1);
+    if (inputLatency_)
+        inputLatency_->observe(secondsSince(t_input));
     return out;
+}
+
+void
+SimHarness::setTelemetry(telemetry::TelemetrySink *sink)
+{
+    inputLatency_ =
+        sink ? &sink->metrics().histogram("sim.inputLatencySec") : nullptr;
 }
 
 SimHarness::BatchOutput

@@ -35,6 +35,12 @@
 #include "mem/memory_image.hh"
 #include "uarch/pipeline.hh"
 
+namespace amulet::telemetry
+{
+class Histogram;
+class TelemetrySink;
+}
+
 namespace amulet::executor
 {
 
@@ -209,6 +215,13 @@ class SimHarness
     const TimeBreakdown &times() const { return times_; }
     void resetTimes() { times_ = TimeBreakdown{}; }
 
+    /** Attach a telemetry sink (src/telemetry/): runInput feeds the
+     *  sim.inputLatencySec histogram — per-input simulator latency,
+     *  prime through trace extraction (BENCH percentiles). Null
+     *  detaches. The sink must belong to the thread driving this
+     *  harness. */
+    void setTelemetry(telemetry::TelemetrySink *sink);
+
     /** Number of simulator (re)starts performed. */
     unsigned startCount() const { return startCount_; }
 
@@ -238,6 +251,11 @@ class SimHarness
      *  re-simulating the priming program. */
     std::optional<uarch::MemSnapshot> primeSnapshot_;
     unsigned primeRestores_ = 0; ///< drives the debug-mode drift audit
+
+    /** Per-input latency histogram of the attached sink (null: no
+     *  telemetry). Cached so runInput records with one pointer check
+     *  instead of a registry lookup. */
+    telemetry::Histogram *inputLatency_ = nullptr;
 };
 
 } // namespace amulet::executor

@@ -37,6 +37,11 @@
 #include "executor/backend.hh"
 #include "isa/program.hh"
 
+namespace amulet::telemetry
+{
+class TelemetrySink;
+}
+
 namespace amulet::pipeline
 {
 
@@ -66,6 +71,12 @@ struct StageContext
     const executor::UarchContext &canonicalCtx;
     /** Campaign start; detection timestamps are measured against it. */
     Clock::time_point t0;
+    /** The owning shard's telemetry sink (src/telemetry/), or null when
+     *  the campaign runs without telemetry. Stage wall times are
+     *  recorded by the pipeline observer, not by stages; the handle is
+     *  here for stages that want finer-grained custom metrics.
+     *  Observability only — stages must never branch on it. */
+    telemetry::TelemetrySink *telemetry = nullptr;
 };
 
 /** A candidate pair that survived context-swap validation. */

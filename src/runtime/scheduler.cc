@@ -1,6 +1,8 @@
 #include "runtime/scheduler.hh"
 
+#include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -13,6 +15,7 @@
 #include "runtime/shard_executor.hh"
 #include "runtime/violation_sink.hh"
 #include "runtime/worker_pool.hh"
+#include "telemetry/telemetry.hh"
 
 namespace amulet::runtime
 {
@@ -38,6 +41,14 @@ CampaignScheduler::run()
     }
     if (jobs > num_programs)
         jobs = num_programs;
+
+    // Campaign telemetry (src/telemetry/): per-shard metric registries
+    // and span buffers, live-progress atomics, and the optional
+    // heartbeat/trace channels. Observability only — nothing recorded
+    // here feeds back into scheduling or results.
+    telemetry::CampaignTelemetry telem(cfg_.telemetry, jobs,
+                                       num_programs, t0);
+    telemetry::CampaignProgress &progress = telem.progress();
 
     // One RNG stream per program, split in program order so that the
     // stream a program sees does not depend on which worker claims it.
@@ -78,6 +89,21 @@ CampaignScheduler::run()
             }
             for (auto &[index, outcome] : restored) {
                 already_detected |= outcome.confirmedViolations > 0;
+                // A restored outcome's campaign-phase seconds feed the
+                // registry exactly like a freshly reported one's, so
+                // the final breakdown of a resumed campaign matches an
+                // uninterrupted run's accounting.
+                auto &sched = telem.schedulerSink().metrics();
+                sched.timer("time.testGen").add(outcome.testGenSec);
+                sched.timer("time.ctrace").add(outcome.ctraceSec);
+                sched.timer("time.filter").add(outcome.filterSec);
+                progress.resumedPrograms.fetch_add(
+                    1, std::memory_order_relaxed);
+                progress.testCases.fetch_add(outcome.testCases,
+                                             std::memory_order_relaxed);
+                progress.violations.fetch_add(
+                    outcome.confirmedViolations,
+                    std::memory_order_relaxed);
                 sink.report(index, std::move(outcome));
                 completed.insert(index);
             }
@@ -156,12 +182,47 @@ CampaignScheduler::run()
     // stop-first detection — cost nothing. ShardExecutor::runClaimed
     // owns the claim-run-report loop; on a pipelined backend it keeps
     // one program in simulator flight while preparing the next.
-    auto shard_task = [&] {
+    auto shard_task = [&](unsigned s) {
+        telemetry::TelemetrySink &tsink = telem.shardSink(s);
+        telemetry::ShardLive &live = progress.shard(s);
+        // Claim/report run on this worker thread, so their spans land
+        // in the shard's own sink. Claim spans make queue contention
+        // and stop-flag stalls visible in a trace.
+        auto claim_traced = [&]() -> std::optional<unsigned> {
+            telemetry::SpanScope span(&tsink, "sched.claim");
+            return claim();
+        };
+        auto report_traced = [&](unsigned p, ProgramOutcome out) {
+            // Campaign-phase accounting timers — the same values the
+            // sink merges into per-program counters.
+            auto &m = tsink.metrics();
+            m.timer("time.testGen").add(out.testGenSec);
+            m.timer("time.ctrace").add(out.ctraceSec);
+            m.timer("time.filter").add(out.filterSec);
+            // Live heartbeat counters. progressIndex bumps once per
+            // report — the shard's monotonic liveness index.
+            const auto relaxed = std::memory_order_relaxed;
+            auto toUs = [](double sec) {
+                return static_cast<std::uint64_t>(sec * 1e6);
+            };
+            progress.programsDone.fetch_add(1, relaxed);
+            progress.testCases.fetch_add(out.testCases, relaxed);
+            progress.violations.fetch_add(out.confirmedViolations,
+                                          relaxed);
+            progress.testGenUs.fetch_add(toUs(out.testGenSec), relaxed);
+            progress.ctraceUs.fetch_add(toUs(out.ctraceSec), relaxed);
+            progress.filterUs.fetch_add(toUs(out.filterSec), relaxed);
+            live.currentProgram.store(p, relaxed);
+            live.programsDone.fetch_add(1, relaxed);
+            live.progressIndex.fetch_add(1, relaxed);
+            telemetry::SpanScope span(&tsink, "sched.report", p);
+            report(p, std::move(out));
+        };
         std::optional<ShardExecutor> exec;
         try {
-            const std::optional<unsigned> first = claim();
+            const std::optional<unsigned> first = claim_traced();
             if (first) {
-                exec.emplace(cfg_, t0);
+                exec.emplace(cfg_, t0, &telem, s);
                 bool first_pending = true;
                 exec->runClaimed(
                     [&]() -> std::optional<unsigned> {
@@ -169,9 +230,9 @@ CampaignScheduler::run()
                             first_pending = false;
                             return first;
                         }
-                        return claim();
+                        return claim_traced();
                     },
-                    streams, report);
+                    streams, report_traced);
             }
         } catch (...) {
             std::lock_guard<std::mutex> lock(failure_mu);
@@ -185,7 +246,12 @@ CampaignScheduler::run()
             // out-of-process worker, fail on its own). The breakdown is
             // diagnostics — never let it escape into std::terminate.
             try {
-                sink.addTimes(exec->times());
+                const executor::TimeBreakdown &tb = exec->times();
+                auto &m = tsink.metrics();
+                m.timer("time.startup").add(tb.startupSec);
+                m.timer("time.prime").add(tb.primeSec);
+                m.timer("time.simulate").add(tb.simulateSec);
+                m.timer("time.traceExtract").add(tb.traceExtractSec);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(failure_mu);
                 if (!failure)
@@ -194,16 +260,19 @@ CampaignScheduler::run()
         }
     };
 
+    telem.startHeartbeat();
     if (jobs <= 1) {
-        shard_task();
+        shard_task(0);
     } else {
         WorkerPool pool(jobs);
         for (unsigned s = 0; s < jobs; ++s)
-            pool.submit(shard_task);
+            pool.submit([&shard_task, s] { shard_task(s); });
         pool.wait();
     }
+    telem.stopHeartbeat(); // emits the final snapshot line
     if (failure)
         std::rethrow_exception(failure);
+    telem.writeTraceFile();
 
     // Final checkpoint: everything completed (including this run's tail
     // and any preloaded outcomes) is resumable state.
@@ -215,17 +284,66 @@ CampaignScheduler::run()
     stats.backend = executor::backendKindName(cfg_.backend);
     stats.resumedPrograms = static_cast<unsigned>(completed.size());
     stats.wallSeconds = secondsSince(t0);
+
+    // Campaign-level tallies into the scheduler sink, so the merged
+    // registry is a self-contained record of the run.
+    {
+        auto &m = telem.schedulerSink().metrics();
+        m.gauge("campaign.jobs").set(jobs);
+        m.gauge("campaign.wallSeconds").set(stats.wallSeconds);
+        auto count = [&m](const char *name, std::uint64_t v) {
+            m.counter(name).add(v);
+        };
+        count("campaign.programs", stats.programs);
+        count("campaign.skippedPrograms", stats.skippedPrograms);
+        count("campaign.resumedPrograms", stats.resumedPrograms);
+        count("campaign.testCases", stats.testCases);
+        count("campaign.filteredTestCases", stats.filteredTestCases);
+        count("campaign.simInputRuns", stats.simInputRuns());
+        count("campaign.effectiveClasses", stats.effectiveClasses);
+        count("campaign.candidateViolations", stats.candidateViolations);
+        count("campaign.validationRuns", stats.validationRuns);
+        count("campaign.violatingTestCases", stats.violatingTestCases);
+        count("campaign.confirmedViolations", stats.confirmedViolations);
+    }
+
+    // The merged registry is the single source of truth for the time
+    // breakdown: every report() above fed the campaign-phase timers and
+    // every shard flushed its harness breakdown into the time.* timers.
+    stats.metrics = telem.mergedMetrics();
+    auto timed = [&](const char *name) -> double {
+        auto it = stats.metrics.find(name);
+        return it == stats.metrics.end() ? 0.0 : it->second.value;
+    };
+    stats.times.startupSec = timed("time.startup");
+    stats.times.primeSec = timed("time.prime");
+    stats.times.simulateSec = timed("time.simulate");
+    stats.times.traceExtractSec = timed("time.traceExtract");
+    stats.times.testGenSec = timed("time.testGen");
+    stats.times.ctraceSec = timed("time.ctrace");
+    stats.times.filterSec = timed("time.filter");
     // Across jobs workers, jobs * wallSeconds of worker time was
     // available; whatever the harness and campaign phases did not measure
     // is scheduling overhead and idle tail.
-    const double measured =
-        stats.times.startupSec + stats.times.primeSec +
-        stats.times.simulateSec + stats.times.traceExtractSec +
-        stats.times.testGenSec + stats.times.ctraceSec +
-        stats.times.filterSec;
-    stats.times.otherSec = stats.wallSeconds * jobs - measured;
-    if (stats.times.otherSec < 0)
-        stats.times.otherSec = 0;
+    const double measured = telemetry::timedSectionTotalSec(stats.metrics);
+    stats.times.otherSec =
+        std::max(0.0, stats.wallSeconds * jobs - measured);
+#ifndef NDEBUG
+    // The accounting sections are disjoint slices of worker time only
+    // when the harness runs on the worker's own thread (in-process
+    // backend); async/subprocess overlap simulation with preparation,
+    // so their sections legitimately exceed the worker-time budget.
+    // Resumed campaigns replay past runs' seconds against this run's
+    // (shorter) wall clock, so exclude them too.
+    if (cfg_.backend == executor::BackendKind::InProcess &&
+        stats.resumedPrograms == 0) {
+        assert(measured <= stats.wallSeconds * jobs * 1.05 + 0.25 &&
+               "timed sections exceed available worker time");
+    }
+#endif
+    if (store)
+        store->writeMetrics(
+            telemetry::metricsJson(stats.metrics, telem.topSpans()));
     return stats;
 }
 

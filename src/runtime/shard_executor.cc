@@ -10,19 +10,57 @@ namespace amulet::runtime
 {
 
 ShardExecutor::ShardExecutor(const core::CampaignConfig &cfg,
-                             Clock::time_point t0)
-    : cfg_(cfg), backend_(executor::makeBackend(cfg.backend, cfg.harness)),
-      model_(cfg.contract),
+                             Clock::time_point t0,
+                             telemetry::CampaignTelemetry *telemetry,
+                             unsigned shardId)
+    : cfg_(cfg), tel_(telemetry), shardId_(shardId),
+      sink_(telemetry ? &telemetry->shardSink(shardId) : nullptr),
+      backend_(makeLane(0)), model_(cfg.contract),
       canonicalCtx_(backend_->saveContext()), // boots the simulator
       t0_(t0), prefix_(pipeline::ProgramPipeline::standardPrefix()),
       suffix_(pipeline::ProgramPipeline::standardSuffix())
 {
+    if (sink_) {
+        // Stage wall times flow into the shard sink: a "stage.<name>"
+        // timer + hotspot entry always, plus a per-program trace span
+        // when tracing. The span's start is reconstructed from the
+        // observer's measured duration.
+        auto observer = [this](const pipeline::Stage &stage,
+                               const pipeline::ProgramPlan &plan,
+                               double seconds) {
+            const auto start =
+                Clock::now() -
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(seconds));
+            const std::string name = std::string("stage.") + stage.name();
+            sink_->recordTimed(name.c_str(), start, seconds,
+                               plan.programIndex);
+        };
+        prefix_.setObserver(observer);
+        suffix_.setObserver(observer);
+    }
+}
+
+std::unique_ptr<executor::SimBackend>
+ShardExecutor::makeLane(unsigned laneIndex)
+{
+    auto lane = executor::makeBackend(cfg_.backend, cfg_.harness);
+    if (tel_) {
+        // Each lane records from the thread its ops run on (the worker
+        // thread, or the async backend's sim thread), so each gets a
+        // private sink — and its own trace track.
+        lane->setTelemetry(&tel_->newSink(
+            "shard" + std::to_string(shardId_) + "/sim" +
+            std::to_string(laneIndex)));
+    }
+    return lane;
 }
 
 pipeline::StageContext
 ShardExecutor::stageContext(executor::SimBackend &lane)
 {
-    return pipeline::StageContext{cfg_, lane, model_, canonicalCtx_, t0_};
+    return pipeline::StageContext{cfg_,          lane, model_,
+                                  canonicalCtx_, t0_,  sink_};
 }
 
 pipeline::ProgramPlan
@@ -103,7 +141,7 @@ ShardExecutor::runClaimed(const ClaimFn &claim,
     if (const char *env = std::getenv("AMULET_ASYNC_LANES"))
         dual = std::atoi(env) >= 2;
     if (dual && !backend2_)
-        backend2_ = executor::makeBackend(cfg_.backend, cfg_.harness);
+        backend2_ = makeLane(1);
 
     struct InFlight
     {

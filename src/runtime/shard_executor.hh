@@ -45,6 +45,7 @@
 #include "executor/backend.hh"
 #include "pipeline/pipeline.hh"
 #include "runtime/violation_sink.hh"
+#include "telemetry/telemetry.hh"
 
 namespace amulet::runtime
 {
@@ -67,9 +68,14 @@ class ShardExecutor
     /**
      * Construct the worker's backend (and boot its simulator). @p t0 is
      * the campaign start time; detection timestamps are measured
-     * against it.
+     * against it. @p telemetry (optional) attaches this shard to the
+     * campaign telemetry: the shard records stage spans into its shard
+     * sink, and each backend lane gets a private "shardN/simK" sink
+     * (async lanes record from their own sim thread).
      */
-    ShardExecutor(const core::CampaignConfig &cfg, Clock::time_point t0);
+    ShardExecutor(const core::CampaignConfig &cfg, Clock::time_point t0,
+                  telemetry::CampaignTelemetry *telemetry = nullptr,
+                  unsigned shardId = 0);
 
     /** Run one program with its dedicated RNG stream. */
     ProgramOutcome runProgram(unsigned programIndex, Rng prog_rng);
@@ -107,8 +113,13 @@ class ShardExecutor
     /** Run the simulator-bound stages (Execute → … → Record) against
      *  the lane the plan's batches were submitted to. */
     void finish(pipeline::ProgramPlan &plan, executor::SimBackend &lane);
+    /** Build lane @p laneIndex's backend with its own telemetry sink. */
+    std::unique_ptr<executor::SimBackend> makeLane(unsigned laneIndex);
 
     const core::CampaignConfig &cfg_;
+    telemetry::CampaignTelemetry *tel_; ///< null: telemetry off
+    unsigned shardId_;
+    telemetry::TelemetrySink *sink_ = nullptr; ///< this worker thread's
     std::unique_ptr<executor::SimBackend> backend_;  ///< lane 0
     std::unique_ptr<executor::SimBackend> backend2_; ///< lane 1 (pipelined)
     contracts::LeakageModel model_;

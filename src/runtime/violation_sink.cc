@@ -74,19 +74,11 @@ ViolationSink::snapshotReported() const
     return snapshot;
 }
 
-void
-ViolationSink::addTimes(const executor::TimeBreakdown &times)
-{
-    std::lock_guard<std::mutex> lock(mu_);
-    times_.accumulate(times);
-}
-
 core::CampaignStats
 ViolationSink::finalize() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     core::CampaignStats stats;
-    stats.times = times_;
     for (const ProgramOutcome &out : outcomes_) {
         stats.times.testGenSec += out.testGenSec;
         stats.times.ctraceSec += out.ctraceSec;

@@ -7,7 +7,6 @@
  *
  *  - counters are sum-merged,
  *  - firstDetectSeconds is min-merged,
- *  - TimeBreakdown is accumulated across workers,
  *  - violations are deduplicated by signature into signatureCounts,
  *  - records are emitted in *program order* with the global cap applied,
  *    so the merged result is identical for any worker count or
@@ -67,13 +66,13 @@ class ViolationSink
      *  serializer discards anyway. Thread-safe. */
     std::map<unsigned, ProgramOutcome> snapshotReported() const;
 
-    /** Accumulate one worker's harness time breakdown. Thread-safe. */
-    void addTimes(const executor::TimeBreakdown &times);
-
     /**
      * Deterministic merge of all reported outcomes, in program order.
-     * Call after all workers finished; fills everything except
-     * wallSeconds/jobs/otherSec, which the scheduler owns.
+     * Call after all workers finished. The scheduler owns wallSeconds /
+     * jobs and overwrites the whole TimeBreakdown from the telemetry
+     * registry (src/telemetry/), which also tracks the harness sections
+     * the outcomes do not carry; the campaign-phase sums computed here
+     * keep the class coherent for standalone (test) use.
      */
     core::CampaignStats finalize() const;
 
@@ -81,7 +80,6 @@ class ViolationSink
     mutable std::mutex mu_;
     std::vector<ProgramOutcome> outcomes_; ///< indexed by program
     std::vector<bool> reported_;
-    executor::TimeBreakdown times_;
     unsigned maxRecords_;
     RecordCallback onRecord_;
 };

@@ -1,0 +1,223 @@
+#include "telemetry/metrics.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace amulet::telemetry
+{
+
+const char *
+metricKindName(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::Counter:   return "counter";
+      case MetricKind::Gauge:     return "gauge";
+      case MetricKind::Timer:     return "timer";
+      case MetricKind::Histogram: return "histogram";
+    }
+    return "?";
+}
+
+// === Histogram =============================================================
+
+void
+Histogram::observe(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+    // Deterministic decimation: keep the first observation of every
+    // stride_ -long window. The window phase carries across thinnings so
+    // the retained set depends only on the observation sequence.
+    if (sinceKept_ == 0) {
+        samples_.push_back(v);
+        if (samples_.size() >= reservoir_)
+            thin();
+    }
+    if (++sinceKept_ >= stride_)
+        sinceKept_ = 0;
+}
+
+void
+Histogram::thin()
+{
+    // Keep every second retained sample and double the stride for
+    // future observations; repeated thinning keeps memory at the bound
+    // while the reservoir stays a uniform systematic sample.
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < samples_.size(); r += 2)
+        samples_[w++] = samples_[r];
+    samples_.resize(w);
+    stride_ *= 2;
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (samples_.empty())
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = static_cast<std::size_t>(p * (sorted.size() - 1));
+    return sorted[rank];
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    // Concatenate reservoirs, then re-thin to the bound. The merged
+    // stride is a bookkeeping upper bound only (percentiles read the
+    // samples, not the stride).
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    stride_ = std::max(stride_, other.stride_);
+    while (samples_.size() >= reservoir_)
+        thin();
+}
+
+// === MetricValue ===========================================================
+
+double
+MetricValue::percentile(double p) const
+{
+    if (samples.empty())
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = static_cast<std::size_t>(p * (sorted.size() - 1));
+    return sorted[rank];
+}
+
+// === MetricsRegistry =======================================================
+
+MetricsRegistry::Instrument &
+MetricsRegistry::get(const std::string &name, MetricKind kind)
+{
+    auto [it, inserted] = instruments_.try_emplace(name);
+    Instrument &inst = it->second;
+    if (inserted) {
+        inst.kind = kind;
+        if (kind == MetricKind::Histogram)
+            inst.histogram = std::make_unique<Histogram>();
+    } else if (inst.kind != kind) {
+        throw std::logic_error(
+            "MetricsRegistry: '" + name + "' registered as " +
+            metricKindName(inst.kind) + ", requested as " +
+            metricKindName(kind));
+    }
+    return inst;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    return get(name, MetricKind::Counter).counter;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    return get(name, MetricKind::Gauge).gauge;
+}
+
+Timer &
+MetricsRegistry::timer(const std::string &name)
+{
+    return get(name, MetricKind::Timer).timer;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    return *get(name, MetricKind::Histogram).histogram;
+}
+
+void
+MetricsRegistry::merge(const MetricsRegistry &other)
+{
+    for (const auto &[name, inst] : other.instruments_) {
+        Instrument &mine = get(name, inst.kind);
+        switch (inst.kind) {
+          case MetricKind::Counter:
+            mine.counter.add(inst.counter.value());
+            break;
+          case MetricKind::Gauge:
+            if (inst.gauge.written())
+                mine.gauge.set(inst.gauge.value());
+            break;
+          case MetricKind::Timer:
+            mine.timer.accumulate(inst.timer.totalSec(),
+                                  inst.timer.count());
+            break;
+          case MetricKind::Histogram:
+            mine.histogram->merge(*inst.histogram);
+            break;
+        }
+    }
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot snap;
+    for (const auto &[name, inst] : instruments_) {
+        MetricValue v;
+        v.kind = inst.kind;
+        switch (inst.kind) {
+          case MetricKind::Counter:
+            v.value = static_cast<double>(inst.counter.value());
+            v.count = inst.counter.value();
+            break;
+          case MetricKind::Gauge:
+            v.value = inst.gauge.value();
+            break;
+          case MetricKind::Timer:
+            v.value = inst.timer.totalSec();
+            v.count = inst.timer.count();
+            break;
+          case MetricKind::Histogram:
+            v.count = inst.histogram->count();
+            v.sum = inst.histogram->sum();
+            v.min = inst.histogram->min();
+            v.max = inst.histogram->max();
+            v.value = inst.histogram->mean();
+            v.samples = inst.histogram->samples();
+            break;
+        }
+        snap.emplace(name, std::move(v));
+    }
+    return snap;
+}
+
+double
+timedSectionTotalSec(const MetricsSnapshot &snapshot)
+{
+    double total = 0;
+    for (const auto &[name, value] : snapshot) {
+        if (value.kind == MetricKind::Timer &&
+            name.rfind("time.", 0) == 0) {
+            total += value.value;
+        }
+    }
+    return total;
+}
+
+} // namespace amulet::telemetry

@@ -1,0 +1,192 @@
+#include "telemetry/telemetry.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace amulet::telemetry
+{
+
+// === TelemetrySink =========================================================
+
+void
+TelemetrySink::noteSlow(const char *name, double seconds,
+                        std::int64_t program)
+{
+    if (topSpans_.size() >= kTopSpans &&
+        seconds <= topSpans_.back().seconds)
+        return;
+    SlowSpan span{name, seconds, program, label_};
+    auto pos = std::upper_bound(
+        topSpans_.begin(), topSpans_.end(), seconds,
+        [](double s, const SlowSpan &e) { return s > e.seconds; });
+    topSpans_.insert(pos, std::move(span));
+    if (topSpans_.size() > kTopSpans)
+        topSpans_.pop_back();
+}
+
+// === CampaignTelemetry =====================================================
+
+CampaignTelemetry::CampaignTelemetry(TelemetryConfig cfg,
+                                     unsigned shards,
+                                     std::uint64_t totalPrograms,
+                                     Clock::time_point epoch)
+    : cfg_(std::move(cfg)), epoch_(epoch),
+      progress_(shards, totalPrograms), heartbeat_(progress_, epoch)
+{
+    const bool tracing = tracingEnabled();
+    scheduler_ =
+        &sinks_.emplace_back("sched", epoch_, tracing, &progress_);
+    for (unsigned s = 0; s < shards; ++s) {
+        shards_.push_back(&sinks_.emplace_back(
+            "shard" + std::to_string(s), epoch_, tracing, &progress_));
+    }
+}
+
+CampaignTelemetry::~CampaignTelemetry() { stopHeartbeat(); }
+
+TelemetrySink &
+CampaignTelemetry::newSink(const std::string &label)
+{
+    std::lock_guard<std::mutex> lock(sinkMu_);
+    return sinks_.emplace_back(label, epoch_, tracingEnabled(),
+                               &progress_);
+}
+
+void
+CampaignTelemetry::startHeartbeat()
+{
+    if (cfg_.heartbeatPath.empty())
+        return;
+    heartbeat_.start(cfg_.heartbeatPath, cfg_.heartbeatIntervalSec);
+}
+
+void
+CampaignTelemetry::stopHeartbeat() { heartbeat_.stop(); }
+
+MetricsSnapshot
+CampaignTelemetry::mergedMetrics() const
+{
+    std::lock_guard<std::mutex> lock(sinkMu_);
+    MetricsRegistry merged;
+    for (const TelemetrySink &sink : sinks_)
+        merged.merge(sink.metrics());
+    return merged.snapshot();
+}
+
+std::vector<SlowSpan>
+CampaignTelemetry::topSpans(std::size_t n) const
+{
+    std::lock_guard<std::mutex> lock(sinkMu_);
+    std::vector<SlowSpan> all;
+    for (const TelemetrySink &sink : sinks_) {
+        all.insert(all.end(), sink.topSpans().begin(),
+                   sink.topSpans().end());
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const SlowSpan &a, const SlowSpan &b) {
+                         return a.seconds > b.seconds;
+                     });
+    if (all.size() > n)
+        all.resize(n);
+    return all;
+}
+
+std::string
+CampaignTelemetry::traceJson() const
+{
+    std::lock_guard<std::mutex> lock(sinkMu_);
+    std::vector<TraceTrack> tracks;
+    tracks.reserve(sinks_.size());
+    for (const TelemetrySink &sink : sinks_)
+        tracks.push_back({sink.label(), &sink.spans()});
+    return exportChromeTrace(tracks);
+}
+
+void
+CampaignTelemetry::writeTraceFile() const
+{
+    if (!tracingEnabled())
+        return;
+    const std::string json = traceJson();
+    std::FILE *f = std::fopen(cfg_.traceOutPath.c_str(), "w");
+    if (!f)
+        throw std::runtime_error("telemetry: cannot write trace to '" +
+                                 cfg_.traceOutPath + "'");
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+}
+
+// === metrics.json ==========================================================
+
+std::string
+metricsJson(const MetricsSnapshot &snapshot,
+            const std::vector<SlowSpan> &topSpans)
+{
+    std::string out;
+    out.reserve(4096);
+    out += "{\"version\":1,\"metrics\":{";
+    bool first = true;
+    for (const auto &[name, v] : snapshot) {
+        if (!first)
+            out += ',';
+        first = false;
+        appendJsonString(out, name);
+        out += ":{\"kind\":\"";
+        out += metricKindName(v.kind);
+        out += '"';
+        switch (v.kind) {
+          case MetricKind::Counter:
+          case MetricKind::Gauge:
+            out += ",\"value\":";
+            appendJsonNumber(out, v.value);
+            break;
+          case MetricKind::Timer:
+            out += ",\"totalSec\":";
+            appendJsonNumber(out, v.value);
+            out += ",\"count\":";
+            appendJsonNumber(out, static_cast<double>(v.count));
+            break;
+          case MetricKind::Histogram:
+            out += ",\"count\":";
+            appendJsonNumber(out, static_cast<double>(v.count));
+            out += ",\"sum\":";
+            appendJsonNumber(out, v.sum);
+            out += ",\"mean\":";
+            appendJsonNumber(out, v.value);
+            out += ",\"min\":";
+            appendJsonNumber(out, v.min);
+            out += ",\"max\":";
+            appendJsonNumber(out, v.max);
+            out += ",\"p50\":";
+            appendJsonNumber(out, v.percentile(0.50));
+            out += ",\"p95\":";
+            appendJsonNumber(out, v.percentile(0.95));
+            out += ",\"p99\":";
+            appendJsonNumber(out, v.percentile(0.99));
+            break;
+        }
+        out += '}';
+    }
+    out += "},\"topSpans\":[";
+    first = true;
+    for (const SlowSpan &span : topSpans) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"name\":";
+        appendJsonString(out, span.name);
+        out += ",\"seconds\":";
+        appendJsonNumber(out, span.seconds);
+        out += ",\"program\":";
+        appendJsonNumber(out, static_cast<double>(span.program));
+        out += ",\"track\":";
+        appendJsonString(out, span.track);
+        out += '}';
+    }
+    out += "]}";
+    return out;
+}
+
+} // namespace amulet::telemetry

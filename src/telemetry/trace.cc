@@ -1,0 +1,89 @@
+#include "telemetry/trace.hh"
+
+#include <cstdio>
+
+namespace amulet::telemetry
+{
+
+void
+appendJsonString(std::string &out, const std::string &text)
+{
+    out += '"';
+    for (char c : text) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendJsonNumber(std::string &out, double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out += buf;
+}
+
+std::string
+exportChromeTrace(const std::vector<TraceTrack> &tracks)
+{
+    std::string out;
+    out.reserve(4096);
+    out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    auto comma = [&] {
+        if (!first)
+            out += ',';
+        first = false;
+    };
+    // Thread-name metadata first, so Perfetto labels every track even
+    // when a track recorded nothing.
+    for (std::size_t tid = 0; tid < tracks.size(); ++tid) {
+        comma();
+        out += "{\"ph\":\"M\",\"pid\":0,\"tid\":";
+        appendJsonNumber(out, static_cast<double>(tid));
+        out += ",\"name\":\"thread_name\",\"args\":{\"name\":";
+        appendJsonString(out, tracks[tid].label);
+        out += "}}";
+    }
+    for (std::size_t tid = 0; tid < tracks.size(); ++tid) {
+        if (!tracks[tid].buffer)
+            continue;
+        for (const SpanEvent &e : tracks[tid].buffer->events()) {
+            comma();
+            out += "{\"ph\":\"X\",\"pid\":0,\"tid\":";
+            appendJsonNumber(out, static_cast<double>(tid));
+            out += ",\"name\":";
+            appendJsonString(out, e.name);
+            out += ",\"ts\":";
+            appendJsonNumber(out, e.tsUs);
+            out += ",\"dur\":";
+            appendJsonNumber(out, e.durUs);
+            if (e.program >= 0) {
+                out += ",\"args\":{\"program\":";
+                appendJsonNumber(out, static_cast<double>(e.program));
+                out += "}";
+            }
+            out += "}";
+        }
+    }
+    out += "]}";
+    return out;
+}
+
+} // namespace amulet::telemetry
