@@ -28,6 +28,7 @@
 #include "executor/sim_harness.hh"
 #include "executor/sim_protocol.hh"
 #include "isa/assembler.hh"
+#include "telemetry/uarch_trace.hh"
 
 namespace
 {
@@ -60,6 +61,44 @@ struct Worker
         if (crashAfter > 0 && ++mutatingOps > crashAfter)
             std::_Exit(42);
     }
+
+    /** Pipeline tracing for one request (protocol v3 "utrace"). The
+     *  RAII shape guarantees the tracer detaches even when the run
+     *  throws, so a failed op cannot leave the harness tracing. */
+    struct TraceScope
+    {
+        executor::SimHarness &sim;
+        telemetry::UarchTracer tracer;
+        bool on;
+
+        TraceScope(executor::SimHarness &h, const Json &req)
+            : sim(h), on(false)
+        {
+            const Json *flag = req.find("utrace");
+            on = flag && flag->asBool();
+            if (on)
+                sim.setUarchTracer(&tracer);
+        }
+
+        ~TraceScope()
+        {
+            if (on)
+                sim.setUarchTracer(nullptr);
+        }
+
+        /** Attach the traced runs to @p reply as "utraces". */
+        void
+        attach(Json &reply)
+        {
+            if (!on)
+                return;
+            Json traces = Json::array();
+            for (const telemetry::UarchRunTrace &run : tracer.takeRuns())
+                traces.push(
+                    executor::protocol::uarchRunTraceToJson(run));
+            reply.set("utraces", std::move(traces));
+        }
+    };
 
     Json
     handle(const Json &req)
@@ -107,12 +146,14 @@ struct Worker
             std::optional<std::vector<executor::TraceFormat>> extras;
             if (const Json *e = req.find("extras"))
                 extras = executor::protocol::traceFormatsFromJson(*e);
+            TraceScope trace(sim(), req);
             const auto out =
                 sim().runBatch(batch, extras ? &*extras : nullptr);
             const Json body = executor::protocol::batchOutputToJson(out);
             Json reply = okReply();
             for (const auto &[key, value] : body.members())
                 reply.set(key, value);
+            trace.attach(reply);
             reply.set("endCtx", corpus::toJson(sim().saveContext()));
             // Cumulative breakdown rides along so the parent loses at
             // most one operation's worth of timing when this worker
@@ -125,8 +166,10 @@ struct Worker
             mutatingOp();
             const arch::Input input =
                 corpus::inputFromJson(req.at("input"));
+            TraceScope trace(sim(), req);
             const auto out = sim().runInput(input);
             Json reply = okReply();
+            trace.attach(reply);
             reply.set("trace", corpus::toJson(out.trace));
             reply.set("hitCycleCap",
                       Json::boolean(out.run.hitCycleCap));

@@ -25,13 +25,20 @@
  *   campaign_cli --trace-out trace.json ...     # Perfetto-loadable
  *   campaign_cli --heartbeat - --jobs 8 ...     # live JSONL to stdout
  *   campaign_cli stats --corpus-dir corpus/     # persisted metrics
+ *
+ * Violation forensics (per-instruction pipeline traces):
+ *   campaign_cli --corpus-dir corpus/ --uarch-trace-dir corpus/traces
+ *   campaign_cli inspect corpus/ 0 --out report0/   # replay + localize
  */
 
 #include <cerrno>
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -43,6 +50,7 @@
 #include "corpus/serde.hh"
 #include "executor/backend.hh"
 #include "isa/disasm.hh"
+#include "telemetry/uarch_trace.hh"
 
 namespace
 {
@@ -56,6 +64,7 @@ usage(const char *argv0)
         "       %s export --corpus-dir DIR [--out FILE]\n"
         "       %s merge  --corpus-dir DST SRC...\n"
         "       %s stats  --corpus-dir DIR [--top N]\n"
+        "       %s inspect DIR INDEX [--out DIR]   violation forensics\n"
         "run options:\n"
         "  --defense NAME    baseline|invisispec|cleanupspec|stt|speclfb\n"
         "  --contract NAME   CT-SEQ|CT-COND|ARCH-SEQ   (default CT-SEQ)\n"
@@ -99,10 +108,15 @@ usage(const char *argv0)
         "('-' = stdout)\n"
         "  --heartbeat-interval SEC   seconds between heartbeat lines "
         "(default 1)\n"
+        "  --uarch-trace-dir DIR      write per-instruction pipeline "
+        "traces (Konata\n"
+        "                    .kanata + Perfetto .pipetrace.json) for "
+        "every journaled\n"
+        "                    violation into DIR\n"
         "discovery:\n"
         "  --list            print every defense, contract, trace format "
         "and backend\n",
-        argv0, argv0, argv0, argv0, argv0);
+        argv0, argv0, argv0, argv0, argv0, argv0);
 }
 
 /** Flag-value discovery: every name each selector flag accepts. */
@@ -316,11 +330,17 @@ cmdStats(const std::string &dir, unsigned top)
     }
     const std::string text = corpus::CorpusStore::readMetricsText(dir);
     if (text.empty()) {
+        // Corpora journaled before the telemetry layer existed have no
+        // metrics.json; that is a state of the corpus, not a usage
+        // error (exit 2 so scripts can tell it from malformed data).
         std::fprintf(stderr,
-                     "campaign_cli: no metrics.json in %s (run a "
-                     "campaign with --corpus-dir first)\n",
+                     "campaign_cli: %s has no metrics.json — the corpus "
+                     "predates campaign telemetry or the campaign ran "
+                     "without --corpus-dir persistence.\nRe-run the "
+                     "campaign (or `run --resume`) with this version to "
+                     "collect metrics.\n",
                      dir.c_str());
-        return 1;
+        return 2;
     }
     try {
         const corpus::Json doc = corpus::Json::parse(text);
@@ -402,6 +422,143 @@ cmdStats(const std::string &dir, unsigned top)
     }
 }
 
+/**
+ * Violation forensics (`inspect DIR INDEX`): replay one journaled
+ * violation with the per-instruction pipeline tracer attached and write
+ * a report directory:
+ *
+ *   report.txt           replay verdict + the first divergent
+ *                        instruction (Spectector-style localization —
+ *                        the earliest microarchitectural difference
+ *                        between the leaking input pair)
+ *   inputA.kanata        Konata-loadable pipeline trace, input A
+ *   inputB.kanata        ... input B
+ *   inputA.o3pipe.txt    gem5 O3PipeView text, input A
+ *   inputB.o3pipe.txt    ... input B
+ *   pipeline.trace.json  both runs as one Chrome/Perfetto trace
+ *   sidebyside.txt       attacker-observation diff (root-cause view)
+ *
+ * Purely read-only with respect to the corpus: the replay builds its
+ * own throwaway SimHarness from the journaled config.
+ */
+int
+cmdInspect(const std::string &dir, const std::string &index_text,
+           std::string out_dir)
+{
+    using namespace amulet;
+    const LoadedCorpus corpus = loadCorpus(dir);
+    const std::uint64_t index = parseNum("record index", index_text.c_str());
+    if (index >= corpus.records.size()) {
+        std::fprintf(stderr,
+                     "campaign_cli: record %llu out of range (%s has "
+                     "%zu record(s))\n",
+                     static_cast<unsigned long long>(index), dir.c_str(),
+                     corpus.records.size());
+        return 2;
+    }
+    const core::ViolationRecord &rec = corpus.records[index];
+    if (out_dir.empty())
+        out_dir = dir + "/inspect/record" + std::to_string(index);
+
+    executor::SimHarness harness(corpus.config.harness);
+    telemetry::UarchTracer tracer;
+    harness.setUarchTracer(&tracer);
+    // replayViolation runs exactly inputA then inputB (each from its
+    // saved context), so the tracer captures exactly two runs.
+    const corpus::ReplayOutcome outcome =
+        corpus::replayViolation(harness, rec);
+    harness.setUarchTracer(nullptr);
+    std::vector<telemetry::UarchRunTrace> runs = tracer.takeRuns();
+    if (runs.size() != 2) {
+        std::fprintf(stderr,
+                     "campaign_cli: replay produced %zu traced run(s), "
+                     "expected 2\n",
+                     runs.size());
+        return 1;
+    }
+    runs[0].label = "inputA";
+    runs[1].label = "inputB";
+    const telemetry::Divergence div =
+        telemetry::firstDivergence(runs[0], runs[1]);
+
+    // The side-by-side view re-runs with event logging; the tracer is
+    // already detached, so those runs stay out of the pipeline traces.
+    const isa::Program prog = corpus::reparseProgram(rec);
+    const isa::FlatProgram fp(prog, corpus.config.harness.map.codeBase);
+    const std::string side = core::renderSideBySide(harness, fp, rec);
+
+    std::string report;
+    report += "violation forensics: " + dir + " record " +
+              std::to_string(index) + "\n";
+    report += rec.summary() + "\n\n";
+    report += "== replay ==\n";
+    report += std::string("inputA reproduced: ") +
+              (outcome.reproducedA ? "yes" : "no") + "\n";
+    report += std::string("inputB reproduced: ") +
+              (outcome.reproducedB ? "yes" : "no") + "\n";
+    report += std::string("traces diverge:    ") +
+              (outcome.diverges ? "yes" : "no") + "\n";
+    report += std::string("verdict: ") +
+              (outcome.confirmed() ? "CONFIRMED" : "FAILED") + "\n";
+    if (!outcome.detail.empty())
+        report += "detail: " + outcome.detail + "\n";
+    report += "\n== first divergent instruction ==\n";
+    if (div.found) {
+        char pc_text[32];
+        std::snprintf(pc_text, sizeof pc_text, "0x%08" PRIx64, div.pc);
+        report += "inst #" + std::to_string(div.idx) + " @" + pc_text +
+                  ": " + div.disasm + "\n";
+        report += "difference: " + div.what + "\n";
+        report += "  inputA: " + div.detailA + "\n";
+        report += "  inputB: " + div.detailB + "\n";
+    } else {
+        report += "(no microarchitectural divergence found — the runs "
+                  "executed identically)\n";
+    }
+    report += "\n== artifacts ==\n"
+              "inputA.kanata / inputB.kanata      Konata pipeline "
+              "traces\n"
+              "inputA.o3pipe.txt / inputB.o3pipe.txt  gem5 O3PipeView "
+              "text\n"
+              "pipeline.trace.json                Chrome/Perfetto, both "
+              "runs\n"
+              "sidebyside.txt                     attacker-observation "
+              "diff\n";
+
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(out_dir, ec);
+    if (ec) {
+        std::fprintf(stderr, "campaign_cli: cannot create %s: %s\n",
+                     out_dir.c_str(), ec.message().c_str());
+        return 1;
+    }
+    bool wrote = true;
+    auto put = [&](const char *name, const std::string &text) {
+        std::ofstream f(out_dir + "/" + name, std::ios::binary);
+        f << text;
+        wrote = wrote && f.good();
+    };
+    put("report.txt", report);
+    put("inputA.kanata", telemetry::exportKanata(runs[0]));
+    put("inputB.kanata", telemetry::exportKanata(runs[1]));
+    put("inputA.o3pipe.txt", telemetry::exportO3PipeView(runs[0]));
+    put("inputB.o3pipe.txt", telemetry::exportO3PipeView(runs[1]));
+    put("pipeline.trace.json",
+        telemetry::exportUarchChromeTrace(runs));
+    put("sidebyside.txt", side);
+    if (!wrote) {
+        std::fprintf(stderr,
+                     "campaign_cli: short write under %s (disk full?)\n",
+                     out_dir.c_str());
+        return 1;
+    }
+
+    std::printf("%s", report.c_str());
+    std::printf("\nreport written to %s\n", out_dir.c_str());
+    return outcome.confirmed() ? 0 : 1;
+}
+
 int
 cmdMerge(const std::string &dst, const std::vector<std::string> &srcs)
 {
@@ -437,7 +594,8 @@ main(int argc, char **argv)
         command = argv[1];
         first_arg = 2;
         if (command != "run" && command != "replay" && command != "export"
-            && command != "merge" && command != "stats") {
+            && command != "merge" && command != "stats"
+            && command != "inspect") {
             std::fprintf(stderr, "campaign_cli: unknown subcommand '%s'\n",
                          command.c_str());
             usage(argv[0]);
@@ -599,11 +757,19 @@ main(int argc, char **argv)
             only("run");
             cfg.telemetry.heartbeatIntervalSec =
                 parseSec("--heartbeat-interval", next());
+        } else if (arg == "--uarch-trace-dir") {
+            only("run");
+            cfg.telemetry.uarchTraceDir = next();
         } else if (arg == "--top") {
             only("stats");
             stats_top = parseU32("--top", next());
         } else if (arg == "--out") {
-            only("export");
+            if (command != "export" && command != "inspect") {
+                std::fprintf(stderr,
+                             "campaign_cli: --out is only valid for the "
+                             "export and inspect subcommands\n");
+                return 2;
+            }
             out_file = next();
         } else if (arg == "--minimize") {
             only("replay");
@@ -616,10 +782,11 @@ main(int argc, char **argv)
         }
     }
 
-    // Only merge takes positional operands (its SRC corpus dirs);
-    // anywhere else a stray operand is a typo that must not be
-    // silently ignored.
-    if (command != "merge" && !positional.empty()) {
+    // Only merge (SRC corpus dirs) and inspect (DIR INDEX) take
+    // positional operands; anywhere else a stray operand is a typo that
+    // must not be silently ignored.
+    if (command != "merge" && command != "inspect" &&
+        !positional.empty()) {
         std::fprintf(stderr, "campaign_cli: unexpected argument '%s'\n",
                      positional.front().c_str());
         usage(argv[0]);
@@ -634,6 +801,22 @@ main(int argc, char **argv)
         return cmdMerge(corpus_dir, positional);
     if (command == "stats")
         return cmdStats(corpus_dir, stats_top);
+    if (command == "inspect") {
+        std::string index_text;
+        if (corpus_dir.empty() && positional.size() == 2) {
+            corpus_dir = positional[0];
+            index_text = positional[1];
+        } else if (!corpus_dir.empty() && positional.size() == 1) {
+            index_text = positional[0];
+        } else {
+            std::fprintf(stderr,
+                         "campaign_cli: inspect needs a corpus dir and "
+                         "a record index\n");
+            usage(argv[0]);
+            return 2;
+        }
+        return cmdInspect(corpus_dir, index_text, out_file);
+    }
 
     if (cfg.resume && corpus_dir.empty()) {
         std::fprintf(stderr, "campaign_cli: --resume requires "

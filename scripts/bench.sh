@@ -2,7 +2,10 @@
 # Machine-readable perf harness: build the tree, run bench/perf_snapshot,
 # and write the campaign-throughput trajectory point (tests/s per defense
 # + TimeBreakdown + per-input sim latency percentiles from the telemetry
-# registry + the prime-cache off->on ablation) to BENCH_6.json.
+# registry + the prime-cache off->on ablation) to BENCH_6.json. Also runs
+# bench/window_atlas and writes the speculation-window atlas (simulator-
+# deterministic mis-speculation window length per defense x trigger) to
+# WINDOW_ATLAS.json next to it.
 #
 # Wall-clock numbers are hardware-dependent: the JSON is for tracking the
 # perf trajectory across commits on comparable hosts, and CI publishes it
@@ -14,10 +17,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_6.json}"
+ATLAS="${2:-$(dirname "${OUT}")/WINDOW_ATLAS.json}"
 JOBS="${VERIFY_JOBS:-$(nproc)}"
 
 cmake -B build -S . > /dev/null
-cmake --build build -j "${JOBS}" --target perf_snapshot > /dev/null
+cmake --build build -j "${JOBS}" --target perf_snapshot \
+    --target window_atlas > /dev/null
 
 AMULET_BENCH_SCALE="${AMULET_BENCH_SCALE:-0.5}" \
     ./build/bench/perf_snapshot > "${OUT}"
@@ -52,3 +57,38 @@ then
   exit 1
 fi
 echo "bench: OK (ablation >= 1.5x, verdicts unchanged)"
+
+./build/bench/window_atlas > "${ATLAS}"
+echo "wrote ${ATLAS}:"
+# Unlike the perf numbers, atlas cycle counts are simulator-deterministic
+# (no wall clock involved), so their shape is checkable everywhere: every
+# cell mispredicted with an open window, and for each defense the
+# tlb-miss window at least as long as the cache-miss one (the page walk
+# only ever delays branch resolution).
+if ! python3 - "${ATLAS}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    atlas = json.load(f)
+assert atlas["schema"] == "amulet-window-atlas-v1", atlas.get("schema")
+cells = atlas["cells"]
+assert len(cells) == 10, len(cells)  # 5 defenses x 2 triggers
+windows = {}
+for c in cells:
+    mech = [k for k, v in c["mechanisms"].items() if v]
+    print(f"  {c['defense']:<12} {c['trigger']:<10} "
+          f"window {c['windowCycles']:>4} cycles  "
+          f"wrong-path {c['wrongPathFetched']} fetched / "
+          f"{c['wrongPathIssued']} issued / "
+          f"{c['wrongPathLoadsIssued']} loads  "
+          f"[{','.join(mech) if mech else '-'}]")
+    assert c["mispredicted"] and c["windowCycles"] > 0, c
+    windows[(c["defense"], c["trigger"])] = c["windowCycles"]
+for (defense, trigger), window in windows.items():
+    if trigger == "tlb-miss":
+        assert window >= windows[(defense, "cache-miss")], defense
+EOF
+then
+  echo "FAIL: window atlas shape check failed" >&2
+  exit 1
+fi
+echo "bench: atlas OK (10 cells, all windows open, tlb >= cache)"

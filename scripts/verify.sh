@@ -185,7 +185,89 @@ EOF
 "${CLI}" stats --corpus-dir "${SMOKE}/tel" | grep -q "time breakdown"
 "${CLI}" stats --corpus-dir "${SMOKE}/tel" | grep -q "sim input latency"
 
+echo "--- telemetry smoke: stats on a corpus without metrics exits 2"
+# A pre-telemetry corpus (journal but no metrics.json) is a corpus
+# state, not a usage error: friendly message, exit code 2.
+cp -r "${SMOKE}/tel" "${SMOKE}/nometrics"
+rm -f "${SMOKE}/nometrics/metrics.json"
+set +e
+"${CLI}" stats --corpus-dir "${SMOKE}/nometrics" \
+    > "${SMOKE}/nometrics.out" 2>&1
+rc=$?
+set -e
+if [ "${rc}" -ne 2 ]; then
+  echo "FAIL: stats without metrics.json must exit 2 (got ${rc})" >&2
+  exit 1
+fi
+grep -q "no metrics.json" "${SMOKE}/nometrics.out"
+
+echo "--- telemetry smoke: heartbeat to a pipe streams lines live"
+# --heartbeat - writes + flushes whole lines: a pipe reader must see
+# the first JSONL line while the campaign is still running (a long one
+# here, killed as soon as the line arrives), not at process exit.
+python3 - "${CLI}" <<'EOF'
+import json, select, subprocess, sys
+p = subprocess.Popen(
+    [sys.argv[1], "--programs", "500", "--boot-insts", "2000",
+     "--heartbeat", "-", "--heartbeat-interval", "0.1"],
+    stdout=subprocess.PIPE)
+try:
+    # Skip the campaign banner; the heartbeat flush pushes it through.
+    deadline = 30
+    while True:
+        ready, _, _ = select.select([p.stdout], [], [], deadline)
+        assert ready, "no heartbeat within 30s: stdout not flushed live"
+        line = p.stdout.readline()
+        assert line, "campaign exited before emitting a heartbeat"
+        if line.lstrip().startswith(b"{"):
+            break
+    doc = json.loads(line)
+    assert doc["programsTotal"] == 500, doc
+finally:
+    p.kill()
+    p.wait()
+EOF
+
 echo "telemetry smoke: OK"
+
+# --- Uarch-trace smoke: pipeline tracing must not move a record byte ---------
+# The introspection contract (src/telemetry/README.md): per-violation
+# pipeline tracing re-runs restore saved contexts, so exports — over the
+# subprocess wire protocol too — are byte-identical with the knob on and
+# off; the traces themselves are Konata-loadable; and `inspect` names
+# the first divergent instruction of a journaled violation.
+
+echo "--- uarch-trace smoke: traced run (subprocess) exports identically"
+"${CLI}" "${CAMPAIGN[@]}" --corpus-dir "${SMOKE}/ut" --jobs 2 \
+    --backend subprocess --uarch-trace-dir "${SMOKE}/ut_traces" > /dev/null
+"${CLI}" export --corpus-dir "${SMOKE}/ut" --out "${SMOKE}/ut.jsonl" \
+    > /dev/null
+cmp "${SMOKE}/full.jsonl" "${SMOKE}/ut.jsonl"
+# Konata header on every per-violation trace file.
+ls "${SMOKE}/ut_traces/"*.kanata > /dev/null
+for f in "${SMOKE}/ut_traces/"*.kanata; do
+  head -n 1 "$f" | grep -q "Kanata" || { echo "FAIL: $f" >&2; exit 1; }
+done
+
+echo "--- uarch-trace smoke: inspect localizes a journaled violation"
+"${CLI}" inspect "${SMOKE}/full" 0 --out "${SMOKE}/inspect0" > /dev/null
+grep -q "first divergent instruction" "${SMOKE}/inspect0/report.txt"
+test -s "${SMOKE}/inspect0/inputA.kanata"
+test -s "${SMOKE}/inspect0/inputB.kanata"
+test -s "${SMOKE}/inspect0/pipeline.trace.json"
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+    "${SMOKE}/inspect0/pipeline.trace.json"
+# Bad record index: friendly usage error, exit 2.
+set +e
+"${CLI}" inspect "${SMOKE}/full" 99999 > /dev/null 2>&1
+rc=$?
+set -e
+if [ "${rc}" -ne 2 ]; then
+  echo "FAIL: inspect with an out-of-range index must exit 2" >&2
+  exit 1
+fi
+
+echo "uarch-trace smoke: OK"
 
 # --- Throughput canary: table3 filter + backend + prime-cache ablations ------
 # Scaled-down table3 run printing the before/after tests/s lines, so perf

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "executor/sim_harness.hh"
+#include "telemetry/uarch_trace.hh"
 
 namespace amulet::telemetry
 {
@@ -79,6 +80,10 @@ struct BackendCaps
     /** The simulator lives in another process (no shared memory with
      *  the caller; programs travel as disassembly). */
     bool outOfProcess = false;
+    /** setUarchTracing/takeUarchTraces work: per-instruction pipeline
+     *  traces of test runs can be collected (out-of-process backends
+     *  ship them back over the wire). */
+    bool uarchTrace = false;
 };
 
 /**
@@ -197,6 +202,22 @@ class SimBackend
         telemetry_ = sink;
     }
 
+    /** @name Per-instruction pipeline tracing (caps().uarchTrace)
+     * While on, every runOne/dispatchBatch test run records a
+     * telemetry::UarchRunTrace; takeUarchTraces drains them in
+     * execution order. Observability only: results are byte-identical
+     * with tracing on or off (the forensics path re-runs journaled
+     * violations with it forced on). Defaults are no-ops so backends
+     * without the cap stay correct.
+     */
+    /// @{
+    virtual void setUarchTracing(bool) {}
+    virtual std::vector<telemetry::UarchRunTrace> takeUarchTraces()
+    {
+        return {};
+    }
+    /// @}
+
   protected:
     telemetry::TelemetrySink *telemetry_ = nullptr;
     /** Eager-result stores for the default submit/collect. */
@@ -212,7 +233,12 @@ class InProcessBackend final : public SimBackend
     explicit InProcessBackend(const HarnessConfig &config);
 
     const char *name() const override { return "inproc"; }
-    BackendCaps caps() const override { return {}; }
+    BackendCaps caps() const override
+    {
+        BackendCaps c;
+        c.uarchTrace = true;
+        return c;
+    }
 
     void loadProgram(const isa::Program &source,
                      const isa::FlatProgram &flat) override;
@@ -228,6 +254,8 @@ class InProcessBackend final : public SimBackend
                          const UarchContext &ctxB) override;
     const TimeBreakdown &times() override { return harness_.times(); }
     void setTelemetry(telemetry::TelemetrySink *sink) override;
+    void setUarchTracing(bool on) override;
+    std::vector<telemetry::UarchRunTrace> takeUarchTraces() override;
 
     /** The wrapped harness (root-cause demos, tests). */
     SimHarness &harness() { return harness_; }
@@ -235,6 +263,7 @@ class InProcessBackend final : public SimBackend
   private:
     SimHarness harness_;
     const isa::FlatProgram *flat_ = nullptr;
+    telemetry::UarchTracer utracer_;
 };
 
 /** Backend-construction options beyond the harness config. */

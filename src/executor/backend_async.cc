@@ -48,6 +48,7 @@ class AsyncBackend final : public SimBackend
     {
         BackendCaps caps;
         caps.pipelined = true;
+        caps.uarchTrace = true;
         return caps;
     }
 
@@ -197,6 +198,25 @@ class AsyncBackend final : public SimBackend
     }
 
     void
+    setUarchTracing(bool on) override
+    {
+        // The tracer is sim-thread confined like the harness; route the
+        // attach through the queue so it lands between ops, in order.
+        enqueue([this, on](SimHarness &h) {
+            h.setUarchTracer(on ? &utracer_ : nullptr);
+        });
+    }
+
+    std::vector<telemetry::UarchRunTrace>
+    takeUarchTraces() override
+    {
+        std::vector<telemetry::UarchRunTrace> out;
+        waitFor(enqueue(
+            [&out, this](SimHarness &) { out = utracer_.takeRuns(); }));
+        return out;
+    }
+
+    void
     sync() override
     {
         if (enqueued_ > 0)
@@ -282,6 +302,7 @@ class AsyncBackend final : public SimBackend
 
     SimHarness harness_;                 ///< sim-thread confined after start
     const isa::FlatProgram *flat_ = nullptr; ///< sim-thread confined
+    telemetry::UarchTracer utracer_;         ///< sim-thread confined
 
     std::thread thread_;
     std::mutex mu_;

@@ -359,12 +359,15 @@ SubprocessBackend::dispatchBatch(const std::vector<const arch::Input *> &batch,
     req.set("inputs", std::move(inputs));
     if (extraFormats)
         req.set("extras", protocol::traceFormatsToJson(*extraFormats));
+    if (utrace_)
+        req.set("utrace", Json::boolean(true));
     const Json reply = roundTrip(req);
     BatchOutput out = protocol::batchOutputFromJson(reply);
     if (!extraFormats)
         out.extras.clear();
     ctx_ = corpus::contextFromJson(reply.at("endCtx"));
     lastWorkerTimes_ = protocol::timesFromJson(reply.at("times"));
+    collectReplyTraces(reply);
     return out;
 }
 
@@ -378,6 +381,8 @@ SubprocessBackend::runOne(const arch::Input &input,
     req.set("input", corpus::toJson(input));
     if (extraFormats)
         req.set("extras", protocol::traceFormatsToJson(*extraFormats));
+    if (utrace_)
+        req.set("utrace", Json::boolean(true));
     const Json reply = roundTrip(req);
     SingleOutput out;
     out.trace = corpus::traceFromJson(reply.at("trace"));
@@ -386,6 +391,27 @@ SubprocessBackend::runOne(const arch::Input &input,
         out.extras.push_back(corpus::traceFromJson(t));
     ctx_ = corpus::contextFromJson(reply.at("endCtx"));
     lastWorkerTimes_ = protocol::timesFromJson(reply.at("times"));
+    collectReplyTraces(reply);
+    return out;
+}
+
+void
+SubprocessBackend::collectReplyTraces(const Json &reply)
+{
+    // Traces travel only in the successful reply, so the crash-retry
+    // path can never record a duplicate.
+    if (const Json *traces = reply.find("utraces")) {
+        for (const Json &t : traces->items())
+            collectedTraces_.push_back(protocol::uarchRunTraceFromJson(t));
+    }
+}
+
+std::vector<telemetry::UarchRunTrace>
+SubprocessBackend::takeUarchTraces()
+{
+    std::vector<telemetry::UarchRunTrace> out =
+        std::move(collectedTraces_);
+    collectedTraces_.clear();
     return out;
 }
 

@@ -54,6 +54,7 @@ class SubprocessBackend final : public SimBackend
     {
         BackendCaps caps;
         caps.outOfProcess = true;
+        caps.uarchTrace = true;
         return caps;
     }
 
@@ -71,6 +72,13 @@ class SubprocessBackend final : public SimBackend
                          const UarchContext &ctxB) override;
     const TimeBreakdown &times() override;
 
+    /** Per-request wire flag (protocol v3): while on, run/batch
+     *  requests ask the worker to trace and ship the per-instruction
+     *  pipeline trace back in the reply. No restart state needed — a
+     *  respawned worker honors the flag on the next request. */
+    void setUarchTracing(bool on) override { utrace_ = on; }
+    std::vector<telemetry::UarchRunTrace> takeUarchTraces() override;
+
     /** Current worker pid (-1: none). Diagnostics and kill tests. */
     int workerPid() const { return pid_; }
 
@@ -81,6 +89,9 @@ class SubprocessBackend final : public SimBackend
     /** Round-trip one request, restarting a dead/hung worker and
      *  re-establishing its state before a retry. */
     corpus::Json roundTrip(const corpus::Json &request);
+
+    /** Append any "utraces" the reply carried to collectedTraces_. */
+    void collectReplyTraces(const corpus::Json &reply);
 
     void spawnWorker();      ///< fork/exec + hello (+ reload + restore)
     void killWorker();       ///< SIGKILL + reap + close pipes
@@ -98,6 +109,9 @@ class SubprocessBackend final : public SimBackend
     /** Re-establishable worker state. */
     std::string programText_;
     std::optional<UarchContext> ctx_; ///< last known predictor state
+
+    bool utrace_ = false;
+    std::vector<telemetry::UarchRunTrace> collectedTraces_;
 
     unsigned restarts_ = 0;
     /** Breakdown accumulated by workers that have since died; every

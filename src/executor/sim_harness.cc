@@ -3,7 +3,9 @@
 #include <cassert>
 #include <chrono>
 
+#include "isa/disasm.hh"
 #include "telemetry/telemetry.hh"
+#include "telemetry/uarch_trace.hh"
 
 namespace amulet::executor
 {
@@ -287,7 +289,29 @@ SimHarness::runInput(const arch::Input &input)
     pipe_->setProgram(prog_);
     pipe_->setArchRegs(regs, isa::Flags::unpack(input.flagsByte));
     RunOutput out;
+    // The tracer observes only this run: boot and priming happen above
+    // (or inside resetBetweenInputs) with no tracer attached.
+    if (utracer_) {
+        if (utraceDisasmFor_ != prog_) {
+            utraceDisasm_.clear();
+            utraceDisasm_.reserve(prog_->numInsts());
+            for (std::size_t i = 0; i < prog_->numInsts(); ++i) {
+                std::string line = prog_->labelOf(i);
+                if (!line.empty())
+                    line += ": ";
+                line += isa::formatInst(prog_->inst(i));
+                utraceDisasm_.push_back(std::move(line));
+            }
+            utraceDisasmFor_ = prog_;
+        }
+        utracer_->beginRun(utraceDisasm_);
+        pipe_->setTracer(utracer_);
+    }
     out.run = pipe_->run();
+    if (utracer_) {
+        pipe_->setTracer(nullptr);
+        utracer_->endRun(out.run.cycles);
+    }
     times_.simulateSec += secondsSince(t0);
 
     const auto t1 = Clock::now();
@@ -296,6 +320,12 @@ SimHarness::runInput(const arch::Input &input)
     if (inputLatency_)
         inputLatency_->observe(secondsSince(t_input));
     return out;
+}
+
+void
+SimHarness::setUarchTracer(telemetry::UarchTracer *tracer)
+{
+    utracer_ = tracer;
 }
 
 void

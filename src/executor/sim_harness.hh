@@ -25,6 +25,8 @@
 
 #include <memory>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "arch/input.hh"
 #include "common/event_log.hh"
@@ -39,6 +41,7 @@ namespace amulet::telemetry
 {
 class Histogram;
 class TelemetrySink;
+class UarchTracer;
 }
 
 namespace amulet::executor
@@ -225,6 +228,14 @@ class SimHarness
     /** Number of simulator (re)starts performed. */
     unsigned startCount() const { return startCount_; }
 
+    /** Attach a per-instruction pipeline tracer (null detaches). The
+     *  tracer observes exactly the *test-program* runs — boot, priming,
+     *  and other aux programs are never traced — and records one
+     *  UarchRunTrace per runInput. Observability only: attaching it
+     *  changes no simulated state, so results are byte-identical traced
+     *  or not (tests/test_uarch_trace.cc). */
+    void setUarchTracer(telemetry::UarchTracer *tracer);
+
   private:
     void buildAuxPrograms();
     void resetBetweenInputs();
@@ -256,6 +267,12 @@ class SimHarness
      *  telemetry). Cached so runInput records with one pointer check
      *  instead of a registry lookup. */
     telemetry::Histogram *inputLatency_ = nullptr;
+
+    /** Pipeline tracer (null: off) + per-program disassembly table,
+     *  rebuilt lazily when the loaded program changes. */
+    telemetry::UarchTracer *utracer_ = nullptr;
+    std::vector<std::string> utraceDisasm_;
+    const isa::FlatProgram *utraceDisasmFor_ = nullptr;
 };
 
 } // namespace amulet::executor

@@ -124,6 +124,156 @@ batchOutputFromJson(const Json &json)
     return out;
 }
 
+namespace
+{
+
+/** InstLifecycle bool bits for the packed wire "flags" field. The bit
+ *  assignment is part of protocol v3 — append, never reorder. */
+enum : std::uint64_t
+{
+    kBitIssued = 1u << 0,
+    kBitCompleted = 1u << 1,
+    kBitCommitted = 1u << 2,
+    kBitSquashed = 1u << 3,
+    kBitIsLoad = 1u << 4,
+    kBitIsStore = 1u << 5,
+    kBitIsBranch = 1u << 6,
+    kBitPredTaken = 1u << 7,
+    kBitActualTaken = 1u << 8,
+    kBitMispredicted = 1u << 9,
+    kBitMemAddrKnown = 1u << 10,
+    kBitWasUnsafeAtIssue = 1u << 11,
+    kBitTainted = 1u << 12,
+    kBitExposePending = 1u << 13,
+    kBitInSpecBuffer = 1u << 14,
+    kBitLfbHeld = 1u << 15,
+    kBitUndoLogged = 1u << 16,
+    kBitForwardedFromStore = 1u << 17,
+    kBitBypassedUnknownStore = 1u << 18,
+};
+
+std::uint64_t
+packLifecycleFlags(const telemetry::InstLifecycle &inst)
+{
+    std::uint64_t flags = 0;
+    auto put = [&flags](bool value, std::uint64_t bit) {
+        if (value)
+            flags |= bit;
+    };
+    put(inst.issued, kBitIssued);
+    put(inst.completed, kBitCompleted);
+    put(inst.committed, kBitCommitted);
+    put(inst.squashed, kBitSquashed);
+    put(inst.isLoad, kBitIsLoad);
+    put(inst.isStore, kBitIsStore);
+    put(inst.isBranch, kBitIsBranch);
+    put(inst.predTaken, kBitPredTaken);
+    put(inst.actualTaken, kBitActualTaken);
+    put(inst.mispredicted, kBitMispredicted);
+    put(inst.memAddrKnown, kBitMemAddrKnown);
+    put(inst.wasUnsafeAtIssue, kBitWasUnsafeAtIssue);
+    put(inst.tainted, kBitTainted);
+    put(inst.exposePending, kBitExposePending);
+    put(inst.inSpecBuffer, kBitInSpecBuffer);
+    put(inst.lfbHeld, kBitLfbHeld);
+    put(inst.undoLogged, kBitUndoLogged);
+    put(inst.forwardedFromStore, kBitForwardedFromStore);
+    put(inst.bypassedUnknownStore, kBitBypassedUnknownStore);
+    return flags;
+}
+
+void
+unpackLifecycleFlags(telemetry::InstLifecycle &inst, std::uint64_t flags)
+{
+    inst.issued = flags & kBitIssued;
+    inst.completed = flags & kBitCompleted;
+    inst.committed = flags & kBitCommitted;
+    inst.squashed = flags & kBitSquashed;
+    inst.isLoad = flags & kBitIsLoad;
+    inst.isStore = flags & kBitIsStore;
+    inst.isBranch = flags & kBitIsBranch;
+    inst.predTaken = flags & kBitPredTaken;
+    inst.actualTaken = flags & kBitActualTaken;
+    inst.mispredicted = flags & kBitMispredicted;
+    inst.memAddrKnown = flags & kBitMemAddrKnown;
+    inst.wasUnsafeAtIssue = flags & kBitWasUnsafeAtIssue;
+    inst.tainted = flags & kBitTainted;
+    inst.exposePending = flags & kBitExposePending;
+    inst.inSpecBuffer = flags & kBitInSpecBuffer;
+    inst.lfbHeld = flags & kBitLfbHeld;
+    inst.undoLogged = flags & kBitUndoLogged;
+    inst.forwardedFromStore = flags & kBitForwardedFromStore;
+    inst.bypassedUnknownStore = flags & kBitBypassedUnknownStore;
+}
+
+} // namespace
+
+Json
+uarchRunTraceToJson(const telemetry::UarchRunTrace &run)
+{
+    Json disasm = Json::array();
+    for (const std::string &line : run.disasm)
+        disasm.push(Json::str(line));
+    Json insts = Json::array();
+    for (const telemetry::InstLifecycle &inst : run.insts) {
+        // Fixed-position number tuple, not an object: a trace carries
+        // thousands of these, so field names would dominate the line.
+        Json tuple = Json::array();
+        tuple.push(Json::number(std::uint64_t{inst.seq}));
+        tuple.push(Json::number(inst.idx));
+        tuple.push(Json::number(std::uint64_t{inst.pc}));
+        tuple.push(Json::number(std::uint64_t{inst.fetchCycle}));
+        tuple.push(Json::number(std::uint64_t{inst.issueCycle}));
+        tuple.push(Json::number(std::uint64_t{inst.completeCycle}));
+        tuple.push(Json::number(std::uint64_t{inst.commitCycle}));
+        tuple.push(Json::number(std::uint64_t{inst.squashCycle}));
+        tuple.push(Json::number(
+            std::uint64_t{static_cast<std::uint8_t>(inst.squashCause)}));
+        tuple.push(Json::number(std::uint64_t{inst.squashTrigger}));
+        tuple.push(Json::number(std::uint64_t{inst.memAddr}));
+        tuple.push(Json::number(packLifecycleFlags(inst)));
+        insts.push(std::move(tuple));
+    }
+    Json j = Json::object();
+    j.set("label", Json::str(run.label));
+    j.set("cycles", Json::number(std::uint64_t{run.cycles}));
+    j.set("disasm", std::move(disasm));
+    j.set("insts", std::move(insts));
+    return j;
+}
+
+telemetry::UarchRunTrace
+uarchRunTraceFromJson(const Json &json)
+{
+    telemetry::UarchRunTrace run;
+    run.label = json.at("label").asStr();
+    run.cycles = json.at("cycles").asU64();
+    for (const Json &line : json.at("disasm").items())
+        run.disasm.push_back(line.asStr());
+    for (const Json &tuple : json.at("insts").items()) {
+        const auto &fields = tuple.items();
+        if (fields.size() != 12)
+            throw corpus::CorpusError("sim protocol: malformed utrace "
+                                      "inst tuple");
+        telemetry::InstLifecycle inst;
+        inst.seq = fields[0].asU64();
+        inst.idx = fields[1].asU64();
+        inst.pc = fields[2].asU64();
+        inst.fetchCycle = fields[3].asU64();
+        inst.issueCycle = fields[4].asU64();
+        inst.completeCycle = fields[5].asU64();
+        inst.commitCycle = fields[6].asU64();
+        inst.squashCycle = fields[7].asU64();
+        inst.squashCause =
+            static_cast<telemetry::SquashCause>(fields[8].asU64());
+        inst.squashTrigger = fields[9].asU64();
+        inst.memAddr = fields[10].asU64();
+        unpackLifecycleFlags(inst, fields[11].asU64());
+        run.insts.push_back(inst);
+    }
+    return run;
+}
+
 Json
 okReply()
 {

@@ -44,8 +44,12 @@ using corpus::Json;
 /** Bumped on any incompatible wire change; hello carries it.
  *  v2: hello carries the primeCache runtime knob (it is deliberately
  *  not part of the serialized harness config — the corpus fingerprint
- *  must not change with it), and times replies carry primeSec. */
-inline constexpr unsigned kProtocolVersion = 2;
+ *  must not change with it), and times replies carry primeSec.
+ *  v3: run requests may carry "utrace":true; the reply then carries
+ *  "utrace", the serialized per-instruction pipeline trace of the run
+ *  (uarchRunTraceToJson). Purely additive for the result path — traced
+ *  and untraced runs are state-identical. */
+inline constexpr unsigned kProtocolVersion = 3;
 
 /** @name Shared field encodings */
 /// @{
@@ -60,6 +64,13 @@ TimeBreakdown timesFromJson(const Json &json);
 
 Json batchOutputToJson(const SimHarness::BatchOutput &out);
 SimHarness::BatchOutput batchOutputFromJson(const Json &json);
+
+/** Per-instruction pipeline trace of one run (protocol v3 "utrace"
+ *  reply field). Lossless: fromJson(toJson(t)) == t, which is what lets
+ *  the forensics path treat subprocess traces exactly like in-process
+ *  ones. */
+Json uarchRunTraceToJson(const telemetry::UarchRunTrace &run);
+telemetry::UarchRunTrace uarchRunTraceFromJson(const Json &json);
 /// @}
 
 /** Reply wrappers. */

@@ -123,9 +123,12 @@ HeartbeatEmitter::emitLine()
 {
     const double elapsed =
         std::chrono::duration<double>(Clock::now() - epoch_).count();
-    const std::string line = heartbeatLine(progress_, elapsed);
+    std::string line = heartbeatLine(progress_, elapsed);
+    line.push_back('\n');
+    // One write + flush per line: readers following a pipe or
+    // `tail -f` ("--heartbeat -") see whole JSONL lines immediately,
+    // never a partial line between the payload and its newline.
     std::fwrite(line.data(), 1, line.size(), out_);
-    std::fputc('\n', out_);
     std::fflush(out_);
 }
 

@@ -1,0 +1,667 @@
+#include "telemetry/uarch_trace.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+
+#include "telemetry/trace.hh"
+
+namespace amulet::telemetry
+{
+
+namespace
+{
+
+void
+appendU64(std::string &out, std::uint64_t value)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+    out += buf;
+}
+
+void
+appendHexAddr(std::string &out, Addr addr)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%08" PRIx64, addr);
+    out += buf;
+}
+
+std::string
+hexAddr(Addr addr)
+{
+    std::string out;
+    appendHexAddr(out, addr);
+    return out;
+}
+
+const std::string &
+disasmOf(const UarchRunTrace &run, std::uint64_t idx)
+{
+    static const std::string runahead = "(runahead nop)";
+    return idx < run.disasm.size() ? run.disasm[idx] : runahead;
+}
+
+/** Last lifecycle tick of an instruction (the end of its pipeline
+ *  occupancy). Every inst ends either committed or squashed; fall back
+ *  to fetch+1 defensively so spans never have zero extent. */
+Cycle
+endCycleOf(const InstLifecycle &inst)
+{
+    Cycle end = inst.fetchCycle;
+    if (inst.issued)
+        end = std::max(end, inst.issueCycle);
+    if (inst.completed)
+        end = std::max(end, inst.completeCycle);
+    if (inst.committed)
+        end = std::max(end, inst.commitCycle);
+    if (inst.squashed)
+        end = std::max(end, inst.squashCycle);
+    return std::max(end, inst.fetchCycle + 1);
+}
+
+/** One-line annotation summary for labels/report lines. */
+std::string
+annotations(const InstLifecycle &inst)
+{
+    std::string out;
+    auto add = [&out](const char *tag) {
+        if (!out.empty())
+            out += ' ';
+        out += tag;
+    };
+    if (inst.mispredicted)
+        add("mispredict");
+    if (inst.wasUnsafeAtIssue)
+        add("unsafe-issue");
+    if (inst.tainted)
+        add("tainted");
+    if (inst.exposePending)
+        add("expose-pending");
+    if (inst.inSpecBuffer)
+        add("spec-buffer");
+    if (inst.lfbHeld)
+        add("lfb-held");
+    if (inst.undoLogged)
+        add("undo-logged");
+    if (inst.forwardedFromStore)
+        add("store-fwd");
+    if (inst.bypassedUnknownStore)
+        add("bypassed-store");
+    return out;
+}
+
+} // namespace
+
+const char *
+squashCauseName(SquashCause cause)
+{
+    switch (cause) {
+      case SquashCause::None:             return "none";
+      case SquashCause::BranchMispredict: return "branch-mispredict";
+      case SquashCause::MemOrder:         return "mem-order";
+    }
+    return "?";
+}
+
+// === UarchTracer ===========================================================
+
+void
+UarchTracer::beginRun(const std::vector<std::string> &disasm)
+{
+    current_ = UarchRunTrace{};
+    current_.disasm = disasm;
+    firstSeq_ = 0;
+    inRun_ = true;
+}
+
+void
+UarchTracer::endRun(Cycle cycles)
+{
+    if (!inRun_)
+        return;
+    current_.cycles = cycles;
+    runs_.push_back(std::move(current_));
+    current_ = UarchRunTrace{};
+    inRun_ = false;
+}
+
+InstLifecycle *
+UarchTracer::recordFor(SeqNum seq)
+{
+    if (!inRun_ || firstSeq_ == 0 || seq < firstSeq_)
+        return nullptr;
+    const std::size_t pos = static_cast<std::size_t>(seq - firstSeq_);
+    return pos < current_.insts.size() ? &current_.insts[pos] : nullptr;
+}
+
+void
+UarchTracer::onFetch(const uarch::DynInst &d, Cycle now)
+{
+    if (!inRun_)
+        return;
+    if (firstSeq_ == 0)
+        firstSeq_ = d.seq;
+    // The pipeline fetches in strictly increasing seq order and squashes
+    // only remove ROB suffixes (never fetch records), so this append
+    // keeps insts[seq - firstSeq_] addressing valid.
+    assert(d.seq == firstSeq_ + current_.insts.size() &&
+           "fetch seq out of order");
+    InstLifecycle rec;
+    rec.seq = d.seq;
+    rec.idx = d.idx;
+    rec.pc = d.pc;
+    rec.fetchCycle = now;
+    rec.isLoad = d.isLoad;
+    rec.isStore = d.isStore;
+    rec.isBranch = d.isBranch();
+    rec.predTaken = d.predTaken;
+    current_.insts.push_back(rec);
+}
+
+void
+UarchTracer::onIssue(const uarch::DynInst &d, Cycle now)
+{
+    InstLifecycle *rec = recordFor(d.seq);
+    if (!rec)
+        return;
+    rec->issued = true;
+    rec->issueCycle = now;
+    rec->wasUnsafeAtIssue = d.wasUnsafeAtIssue;
+    if (d.isLoad || d.isStore) {
+        rec->memAddrKnown = true;
+        rec->memAddr = d.memAddr;
+    }
+}
+
+void
+UarchTracer::onComplete(const uarch::DynInst &d, Cycle now)
+{
+    InstLifecycle *rec = recordFor(d.seq);
+    if (!rec)
+        return;
+    rec->completed = true;
+    rec->completeCycle = now;
+    rec->actualTaken = d.actualTaken;
+    rec->mispredicted = d.mispredicted;
+    rec->tainted = d.tainted;
+    rec->exposePending = d.exposePending;
+    rec->inSpecBuffer = d.inSpecBuffer;
+    rec->lfbHeld = d.lfbHeld;
+    rec->undoLogged = d.undoLogged;
+    rec->forwardedFromStore = d.forwardedFromStore;
+    rec->bypassedUnknownStore = d.bypassedUnknownStore;
+}
+
+void
+UarchTracer::onSquash(const uarch::DynInst &d, Cycle now,
+                      SquashCause cause, SeqNum trigger)
+{
+    InstLifecycle *rec = recordFor(d.seq);
+    if (!rec)
+        return;
+    rec->squashed = true;
+    rec->squashCycle = now;
+    rec->squashCause = cause;
+    rec->squashTrigger = trigger;
+    rec->mispredicted = d.mispredicted;
+    // Defense annotations at squash time are the interesting ones: this
+    // is the transient state the countermeasure had to clean up (the
+    // hook fires after Defense::onSquash, so undo/expose bookkeeping is
+    // final).
+    rec->tainted = d.tainted;
+    rec->exposePending = d.exposePending;
+    rec->inSpecBuffer = d.inSpecBuffer;
+    rec->lfbHeld = d.lfbHeld;
+    rec->undoLogged = d.undoLogged;
+    rec->forwardedFromStore = d.forwardedFromStore;
+    rec->bypassedUnknownStore = d.bypassedUnknownStore;
+}
+
+void
+UarchTracer::onCommit(const uarch::DynInst &d, Cycle now)
+{
+    InstLifecycle *rec = recordFor(d.seq);
+    if (!rec)
+        return;
+    rec->committed = true;
+    rec->commitCycle = now;
+    rec->actualTaken = d.actualTaken;
+    rec->mispredicted = d.mispredicted;
+    rec->tainted = d.tainted;
+    rec->exposePending = d.exposePending;
+    rec->inSpecBuffer = d.inSpecBuffer;
+    rec->lfbHeld = d.lfbHeld;
+    rec->undoLogged = d.undoLogged;
+    rec->forwardedFromStore = d.forwardedFromStore;
+    rec->bypassedUnknownStore = d.bypassedUnknownStore;
+}
+
+std::vector<UarchRunTrace>
+UarchTracer::takeRuns()
+{
+    std::vector<UarchRunTrace> out = std::move(runs_);
+    runs_.clear();
+    return out;
+}
+
+// === Kanata export =========================================================
+
+namespace
+{
+
+/** Event kinds in intra-cycle emit order (fetch < issue < complete <
+ *  retire/flush). */
+enum class KEv : std::uint8_t
+{
+    Fetch = 0,
+    Issue,
+    Complete,
+    Commit,
+    Squash,
+};
+
+struct KanataEvent
+{
+    Cycle cycle;
+    std::size_t inst; ///< index into run.insts (also the Kanata id)
+    KEv kind;
+};
+
+} // namespace
+
+std::string
+exportKanata(const UarchRunTrace &run)
+{
+    std::vector<KanataEvent> events;
+    events.reserve(run.insts.size() * 4);
+    for (std::size_t i = 0; i < run.insts.size(); ++i) {
+        const InstLifecycle &inst = run.insts[i];
+        events.push_back({inst.fetchCycle, i, KEv::Fetch});
+        if (inst.issued)
+            events.push_back({inst.issueCycle, i, KEv::Issue});
+        if (inst.completed)
+            events.push_back({inst.completeCycle, i, KEv::Complete});
+        if (inst.committed)
+            events.push_back({inst.commitCycle, i, KEv::Commit});
+        if (inst.squashed)
+            events.push_back({inst.squashCycle, i, KEv::Squash});
+    }
+    std::sort(events.begin(), events.end(),
+              [](const KanataEvent &a, const KanataEvent &b) {
+                  if (a.cycle != b.cycle)
+                      return a.cycle < b.cycle;
+                  if (a.inst != b.inst)
+                      return a.inst < b.inst;
+                  return a.kind < b.kind;
+              });
+
+    std::string out;
+    out.reserve(events.size() * 32 + 64);
+    out += "Kanata\t0004\n";
+    const Cycle start = events.empty() ? 0 : events.front().cycle;
+    out += "C=\t";
+    appendU64(out, start);
+    out += '\n';
+
+    // Per-instruction open stage ("F", "X", "CM"; empty = closed).
+    std::vector<const char *> openStage(run.insts.size(), nullptr);
+    Cycle cur = start;
+    std::uint64_t retireId = 0;
+    auto advance = [&](Cycle to) {
+        if (to > cur) {
+            out += "C\t";
+            appendU64(out, to - cur);
+            out += '\n';
+            cur = to;
+        }
+    };
+    auto stage = [&](const char *cmd, std::size_t id, const char *name) {
+        out += cmd;
+        out += '\t';
+        appendU64(out, id);
+        out += "\t0\t";
+        out += name;
+        out += '\n';
+    };
+
+    for (const KanataEvent &ev : events) {
+        advance(ev.cycle);
+        const std::size_t id = ev.inst;
+        const InstLifecycle &inst = run.insts[id];
+        switch (ev.kind) {
+          case KEv::Fetch: {
+            out += "I\t";
+            appendU64(out, id);
+            out += '\t';
+            appendU64(out, inst.seq);
+            out += "\t0\n";
+            // Left label: disasm; hover label: pc + annotations.
+            out += "L\t";
+            appendU64(out, id);
+            out += "\t0\t";
+            out += disasmOf(run, inst.idx);
+            out += '\n';
+            out += "L\t";
+            appendU64(out, id);
+            out += "\t1\tpc=";
+            appendHexAddr(out, inst.pc);
+            out += " seq=";
+            appendU64(out, inst.seq);
+            if (inst.memAddrKnown) {
+                out += " addr=";
+                appendHexAddr(out, inst.memAddr);
+            }
+            if (inst.squashed) {
+                out += " squash=";
+                out += squashCauseName(inst.squashCause);
+            }
+            const std::string notes = annotations(inst);
+            if (!notes.empty()) {
+                out += ' ';
+                out += notes;
+            }
+            out += '\n';
+            stage("S", id, "F");
+            openStage[id] = "F";
+            break;
+          }
+          case KEv::Issue:
+            if (openStage[id])
+                stage("E", id, openStage[id]);
+            stage("S", id, "X");
+            openStage[id] = "X";
+            break;
+          case KEv::Complete:
+            if (openStage[id])
+                stage("E", id, openStage[id]);
+            stage("S", id, "CM");
+            openStage[id] = "CM";
+            break;
+          case KEv::Commit:
+          case KEv::Squash:
+            if (openStage[id]) {
+                stage("E", id, openStage[id]);
+                openStage[id] = nullptr;
+            }
+            out += "R\t";
+            appendU64(out, id);
+            out += '\t';
+            appendU64(out, retireId++);
+            out += ev.kind == KEv::Commit ? "\t0\n" : "\t1\n";
+            break;
+        }
+    }
+
+    // Instructions still in flight when the run ended (fetched past the
+    // Halt, so neither committed nor squashed) close at the final
+    // cycle as flushes — a Kanata log must balance every begun stage.
+    advance(run.cycles > cur ? run.cycles : cur);
+    for (std::size_t id = 0; id < openStage.size(); ++id) {
+        if (!openStage[id])
+            continue;
+        stage("E", id, openStage[id]);
+        openStage[id] = nullptr;
+        out += "R\t";
+        appendU64(out, id);
+        out += '\t';
+        appendU64(out, retireId++);
+        out += "\t1\n";
+    }
+    return out;
+}
+
+// === O3PipeView export =====================================================
+
+std::string
+exportO3PipeView(const UarchRunTrace &run)
+{
+    // gem5's convention: ticks, with a fixed ticks-per-cycle factor;
+    // tick 0 marks a stage the instruction never reached.
+    constexpr std::uint64_t kTicksPerCycle = 1000;
+    auto tick = [](Cycle c) { return c * kTicksPerCycle; };
+
+    std::string out;
+    out.reserve(run.insts.size() * 160);
+    for (const InstLifecycle &inst : run.insts) {
+        out += "O3PipeView:fetch:";
+        appendU64(out, tick(inst.fetchCycle));
+        out += ':';
+        appendHexAddr(out, inst.pc);
+        out += ":0:";
+        appendU64(out, inst.seq);
+        out += ':';
+        out += disasmOf(run, inst.idx);
+        out += '\n';
+        // This core has no distinct decode/rename/dispatch stages;
+        // report them at the fetch tick so viewers get contiguous
+        // lanes.
+        out += "O3PipeView:decode:";
+        appendU64(out, tick(inst.fetchCycle));
+        out += "\nO3PipeView:rename:";
+        appendU64(out, tick(inst.fetchCycle));
+        out += "\nO3PipeView:dispatch:";
+        appendU64(out, tick(inst.fetchCycle));
+        out += "\nO3PipeView:issue:";
+        appendU64(out, inst.issued ? tick(inst.issueCycle) : 0);
+        out += "\nO3PipeView:complete:";
+        appendU64(out, inst.completed ? tick(inst.completeCycle) : 0);
+        out += "\nO3PipeView:retire:";
+        appendU64(out, inst.committed ? tick(inst.commitCycle) : 0);
+        out += ":store:0\n";
+    }
+    return out;
+}
+
+// === Chrome-trace export ===================================================
+
+std::string
+exportUarchChromeTrace(const std::vector<UarchRunTrace> &runs)
+{
+    std::string out;
+    out += "{\"traceEvents\":[";
+    bool first = true;
+    auto comma = [&] {
+        if (!first)
+            out += ',';
+        first = false;
+    };
+    for (std::size_t tid = 0; tid < runs.size(); ++tid) {
+        const UarchRunTrace &run = runs[tid];
+        comma();
+        out += "{\"ph\":\"M\",\"pid\":0,\"tid\":";
+        appendJsonNumber(out, static_cast<double>(tid));
+        out += ",\"name\":\"thread_name\",\"args\":{\"name\":";
+        appendJsonString(out, run.label.empty()
+                                  ? "run" + std::to_string(tid)
+                                  : run.label);
+        out += "}}";
+        // insts is in fetch order, so ts is monotonic within the track.
+        for (const InstLifecycle &inst : run.insts) {
+            comma();
+            out += "{\"ph\":\"X\",\"pid\":0,\"tid\":";
+            appendJsonNumber(out, static_cast<double>(tid));
+            out += ",\"name\":";
+            appendJsonString(out, disasmOf(run, inst.idx));
+            out += ",\"ts\":";
+            appendJsonNumber(out,
+                             static_cast<double>(inst.fetchCycle));
+            out += ",\"dur\":";
+            appendJsonNumber(out, static_cast<double>(endCycleOf(inst) -
+                                                      inst.fetchCycle));
+            out += ",\"args\":{\"seq\":";
+            appendJsonNumber(out, static_cast<double>(inst.seq));
+            out += ",\"pc\":";
+            appendJsonString(out, hexAddr(inst.pc));
+            if (inst.memAddrKnown) {
+                out += ",\"addr\":";
+                appendJsonString(out, hexAddr(inst.memAddr));
+            }
+            out += ",\"fate\":";
+            appendJsonString(out, inst.squashed   ? "squashed"
+                                  : inst.committed ? "committed"
+                                                   : "in-flight");
+            if (inst.squashed) {
+                out += ",\"squashCause\":";
+                appendJsonString(out,
+                                 squashCauseName(inst.squashCause));
+            }
+            const std::string notes = annotations(inst);
+            if (!notes.empty()) {
+                out += ",\"notes\":";
+                appendJsonString(out, notes);
+            }
+            out += "}}";
+        }
+    }
+    out += "]}";
+    return out;
+}
+
+// === Divergence localization ===============================================
+
+namespace
+{
+
+/** Issue-ordered load/store observations, squashed accesses included.
+ *  Stable sort by issue cycle over fetch order reproduces the
+ *  pipeline's accessOrder_ (issueStage walks the ROB in fetch order
+ *  within a cycle). */
+std::vector<const InstLifecycle *>
+memObservations(const UarchRunTrace &run)
+{
+    std::vector<const InstLifecycle *> obs;
+    for (const InstLifecycle &inst : run.insts) {
+        if (inst.issued && inst.memAddrKnown &&
+            (inst.isLoad || inst.isStore)) {
+            obs.push_back(&inst);
+        }
+    }
+    std::stable_sort(obs.begin(), obs.end(),
+                     [](const InstLifecycle *a, const InstLifecycle *b) {
+                         return a->issueCycle < b->issueCycle;
+                     });
+    return obs;
+}
+
+std::string
+memDetail(const InstLifecycle &inst)
+{
+    std::string out = inst.isStore && !inst.isLoad ? "store " : "load ";
+    out += hexAddr(inst.memAddr);
+    out += " @cycle ";
+    appendU64(out, inst.issueCycle);
+    if (inst.squashed) {
+        out += " (transient, ";
+        out += squashCauseName(inst.squashCause);
+        out += ')';
+    }
+    return out;
+}
+
+Divergence
+diverge(const UarchRunTrace &run, const InstLifecycle &inst,
+        std::string what, std::string detailA, std::string detailB)
+{
+    Divergence d;
+    d.found = true;
+    d.idx = inst.idx;
+    d.pc = inst.pc;
+    d.disasm = disasmOf(run, inst.idx);
+    d.what = std::move(what);
+    d.detailA = std::move(detailA);
+    d.detailB = std::move(detailB);
+    return d;
+}
+
+} // namespace
+
+Divergence
+firstDivergence(const UarchRunTrace &a, const UarchRunTrace &b)
+{
+    // 1) Memory observations: the attacker-visible channel. First
+    //    (pc, addr, kind) mismatch in issue order wins — including
+    //    transient accesses, which architectural diffing cannot see.
+    const auto memA = memObservations(a);
+    const auto memB = memObservations(b);
+    const std::size_t nMem = std::min(memA.size(), memB.size());
+    for (std::size_t k = 0; k < nMem; ++k) {
+        const InstLifecycle &ia = *memA[k];
+        const InstLifecycle &ib = *memB[k];
+        const bool storeA = ia.isStore && !ia.isLoad;
+        const bool storeB = ib.isStore && !ib.isLoad;
+        if (ia.pc != ib.pc || ia.memAddr != ib.memAddr ||
+            storeA != storeB) {
+            return diverge(a, ia,
+                           "memory access #" + std::to_string(k) +
+                               " differs",
+                           memDetail(ia), memDetail(ib));
+        }
+    }
+    if (memA.size() != memB.size()) {
+        const bool aLonger = memA.size() > memB.size();
+        const InstLifecycle &extra =
+            aLonger ? *memA[nMem] : *memB[nMem];
+        return diverge(aLonger ? a : b, extra,
+                       "memory access count differs (" +
+                           std::to_string(memA.size()) + " vs " +
+                           std::to_string(memB.size()) + ")",
+                       aLonger ? memDetail(extra) : "(absent)",
+                       aLonger ? "(absent)" : memDetail(extra));
+    }
+
+    // 2) Branch resolution: control-flow divergence without a memory
+    //    footprint (covered by contracts, still worth naming).
+    const std::size_t nInst = std::min(a.insts.size(), b.insts.size());
+    for (std::size_t k = 0; k < nInst; ++k) {
+        const InstLifecycle &ia = a.insts[k];
+        const InstLifecycle &ib = b.insts[k];
+        if (ia.isBranch && ib.isBranch && ia.pc == ib.pc &&
+            ia.completed && ib.completed &&
+            ia.actualTaken != ib.actualTaken) {
+            return diverge(a, ia, "branch direction differs",
+                           ia.actualTaken ? "taken" : "not taken",
+                           ib.actualTaken ? "taken" : "not taken");
+        }
+    }
+
+    // 3) Raw lifecycle: timing-only divergence (same accesses, shifted
+    //    cycles — e.g. a hit-vs-miss latency channel).
+    for (std::size_t k = 0; k < nInst; ++k) {
+        const InstLifecycle &ia = a.insts[k];
+        const InstLifecycle &ib = b.insts[k];
+        if (!(ia == ib)) {
+            std::string da = "fetch@" + std::to_string(ia.fetchCycle);
+            std::string db = "fetch@" + std::to_string(ib.fetchCycle);
+            if (ia.issued) {
+                da += " issue@" + std::to_string(ia.issueCycle);
+            }
+            if (ib.issued) {
+                db += " issue@" + std::to_string(ib.issueCycle);
+            }
+            if (ia.completed)
+                da += " done@" + std::to_string(ia.completeCycle);
+            if (ib.completed)
+                db += " done@" + std::to_string(ib.completeCycle);
+            return diverge(a, ia, "instruction lifecycle differs", da,
+                           db);
+        }
+    }
+    if (a.insts.size() != b.insts.size()) {
+        const bool aLonger = a.insts.size() > b.insts.size();
+        const UarchRunTrace &longer = aLonger ? a : b;
+        const InstLifecycle &extra = longer.insts[nInst];
+        return diverge(longer, extra,
+                       "fetched instruction count differs (" +
+                           std::to_string(a.insts.size()) + " vs " +
+                           std::to_string(b.insts.size()) + ")",
+                       aLonger ? "fetched" : "(absent)",
+                       aLonger ? "(absent)" : "fetched");
+    }
+
+    return Divergence{};
+}
+
+} // namespace amulet::telemetry

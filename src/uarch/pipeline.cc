@@ -6,6 +6,7 @@
 #include "common/bitutil.hh"
 #include "defense/defense.hh"
 #include "isa/semantics.hh"
+#include "telemetry/uarch_trace.hh"
 
 namespace amulet::uarch
 {
@@ -288,6 +289,11 @@ Pipeline::squashAfter(SeqNum keep_up_to, std::size_t new_fetch_idx,
                       std::uint32_t restore_ghr, EventKind reason,
                       SeqNum trigger_seq)
 {
+    // After Defense::onSquash the victim's annotations (undoLogged,
+    // exposePending, ...) are final — exactly what the tracer records.
+    const auto cause = reason == EventKind::SquashBranch
+                           ? telemetry::SquashCause::BranchMispredict
+                           : telemetry::SquashCause::MemOrder;
     while (!rob_.empty() && rob_.back().seq > keep_up_to) {
         DynInst &victim = rob_.back();
         victim.squashed = true;
@@ -296,6 +302,8 @@ Pipeline::squashAfter(SeqNum keep_up_to, std::size_t new_fetch_idx,
         if (victim.isStore)
             --storesInFlight_;
         defense_->onSquash(victim);
+        if (tracer_)
+            tracer_->onSquash(victim, now_, cause, trigger_seq);
         rob_.pop_back();
     }
     log_.record(now_, reason, trigger_seq);
@@ -367,6 +375,8 @@ Pipeline::resolveBranch(DynInst &e)
     e.actualNextIdx = next_idx;
     e.executed = true;
     e.execCycle = now_;
+    if (tracer_)
+        tracer_->onComplete(e, now_);
 
     if (next_idx != e.predNextIdx) {
         e.mispredicted = true;
@@ -437,6 +447,8 @@ Pipeline::finalizeData(DynInst &e)
     }
     e.executed = true;
     e.execCycle = now_;
+    if (tracer_)
+        tracer_->onComplete(e, now_);
 }
 
 void
@@ -600,6 +612,8 @@ Pipeline::issueStage()
                 e.issueCycle = now_;
                 e.doneCycle = now_ + 1;
                 --budget;
+                if (tracer_)
+                    tracer_->onIssue(e, now_);
             }
             if (!e.executed)
                 break; // younger instructions wait for the fence
@@ -623,6 +637,8 @@ Pipeline::issueStage()
                         accessOrder_.push_back({e.pc, e.memAddr,
                                                 e.isStore && !e.isLoad,
                                                 e.seq, now_});
+                        if (tracer_)
+                            tracer_->onIssue(e, now_);
                         const unsigned lat = mem_.dtlbAccess(
                             e.memAddr, e.memSize, e.seq, e.pc);
                         e.tlbPending = true;
@@ -645,6 +661,8 @@ Pipeline::issueStage()
                         lat = 1;
                     e.doneCycle = now_ + lat;
                     --budget;
+                    if (tracer_)
+                        tracer_->onIssue(e, now_);
                 }
             }
         }
@@ -671,6 +689,8 @@ Pipeline::executeStage()
                 e.si.op == Op::Fence) {
                 e.executed = true;
                 e.execCycle = now_;
+                if (tracer_)
+                    tracer_->onComplete(e, now_);
                 continue;
             }
             finalizeData(e);
@@ -751,6 +771,8 @@ Pipeline::commitStage()
         e.committed = true;
         e.commitCycle = now_;
         log_.record(now_, EventKind::Commit, e.seq, e.pc);
+        if (tracer_)
+            tracer_->onCommit(e, now_);
         ++committedInsts_;
         if (e.isLoad)
             --loadsInFlight_;
@@ -810,6 +832,8 @@ Pipeline::fetchStage()
             ++storesInFlight_;
 
         log_.record(now_, EventKind::Fetch, d.seq, pc);
+        if (tracer_)
+            tracer_->onFetch(d, now_);
         fetchIdx_ = d.predNextIdx;
         rob_.push_back(std::move(d));
         if (taken_branch)

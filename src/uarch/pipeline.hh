@@ -37,6 +37,11 @@ namespace amulet::defense
 class Defense;
 } // namespace amulet::defense
 
+namespace amulet::telemetry
+{
+class UarchTracer;
+} // namespace amulet::telemetry
+
 namespace amulet::uarch
 {
 
@@ -91,6 +96,11 @@ class Pipeline
 
     /** Select the program to run (must outlive the run). */
     void setProgram(const isa::FlatProgram *prog);
+
+    /** Attach a lifecycle tracer (nullptr to detach). Observability
+     *  only: hooks fire after the pipeline's own bookkeeping and feed
+     *  nothing back, so a run behaves identically traced or not. */
+    void setTracer(telemetry::UarchTracer *tracer) { tracer_ = tracer; }
 
     /** Initialize the committed architectural register/flag state. */
     void setArchRegs(const std::array<RegVal, isa::kNumRegs> &regs,
@@ -189,6 +199,7 @@ class Pipeline
     MemDepPredictor mdp_;
     defense::Defense *defense_ = nullptr;
     std::unique_ptr<defense::Defense> defaultDefense_;
+    telemetry::UarchTracer *tracer_ = nullptr;
 
     const isa::FlatProgram *prog_ = nullptr;
 

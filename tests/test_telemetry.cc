@@ -5,11 +5,16 @@
  *  - the metrics registry's instruments record, merge, and snapshot
  *    deterministically (histogram decimation is RNG-free);
  *  - telemetry is observability only: for every defense, the canonical
- *    corpus export is byte-identical with tracing + heartbeats on and
- *    off, at jobs 1 and 4, on all three executor backends;
+ *    corpus export is byte-identical with tracing + heartbeats + the
+ *    per-violation uarch trace dir on and off, at jobs 1 and 4, on all
+ *    three executor backends;
  *  - the heartbeat stream is well-formed JSONL with monotonic per-shard
  *    progress indices, and the trace file is one valid JSON document
- *    with the Chrome trace-event shape;
+ *    with the Chrome trace-event shape (timestamps ordered per thread
+ *    by completion);
+ *  - a campaign with uarchTraceDir set writes Konata-parseable pipeline
+ *    traces for journaled violations (per-instruction contracts live in
+ *    tests/test_uarch_trace.cc);
  *  - EventLog's configurable capacity drops oldest-first and counts
  *    what it dropped.
  */
@@ -265,6 +270,11 @@ checkTrace(const std::string &path)
     const corpus::Json &events = doc.at("traceEvents");
     bool sawStage = false;
     bool sawThreadName = false;
+    // Spans append to each thread's buffer when they *complete*, so the
+    // per-thread completion time (ts + dur) never decreases — raw ts
+    // alone can (a nested span starts after, and ends before, its
+    // parent).
+    std::map<std::uint64_t, double> last_end;
     for (const corpus::Json &ev : events.items()) {
         const std::string ph = ev.at("ph").asStr();
         if (ph == "M") {
@@ -274,10 +284,57 @@ checkTrace(const std::string &path)
         }
         ASSERT_EQ(ph, "X");
         EXPECT_GE(ev.at("dur").asDouble(), 0.0);
+        const std::uint64_t tid = ev.at("tid").asU64();
+        const double end =
+            ev.at("ts").asDouble() + ev.at("dur").asDouble();
+        auto it = last_end.find(tid);
+        if (it != last_end.end())
+            EXPECT_GE(end, it->second) << "tid " << tid;
+        last_end[tid] = end;
         sawStage |= ev.at("name").asStr().rfind("stage.", 0) == 0;
     }
     EXPECT_TRUE(sawThreadName);
     EXPECT_TRUE(sawStage);
+}
+
+/** Every .kanata file under @p dir parses as a Kanata 0004 log whose
+ *  stage begins/ends balance per instruction lane. */
+void
+checkKanataDir(const std::string &dir, bool expect_some)
+{
+    unsigned files = 0;
+    if (fs::exists(dir)) {
+        for (const auto &entry : fs::directory_iterator(dir)) {
+            if (entry.path().extension() != ".kanata")
+                continue;
+            ++files;
+            std::istringstream lines(readFileText(entry.path().string()));
+            std::string line;
+            ASSERT_TRUE(std::getline(lines, line));
+            EXPECT_EQ(line, "Kanata\t0004") << entry.path();
+            std::map<std::string, std::string> open; // lane -> stage
+            while (std::getline(lines, line)) {
+                std::istringstream cells(line);
+                std::vector<std::string> f;
+                for (std::string cell; std::getline(cells, cell, '\t');)
+                    f.push_back(cell);
+                if (f.empty())
+                    continue;
+                if (f[0] == "S") {
+                    EXPECT_FALSE(open.count(f.at(1))) << line;
+                    open[f.at(1)] = f.at(3);
+                } else if (f[0] == "E") {
+                    auto it = open.find(f.at(1));
+                    ASSERT_NE(it, open.end()) << line;
+                    EXPECT_EQ(it->second, f.at(3)) << line;
+                    open.erase(it);
+                }
+            }
+            EXPECT_TRUE(open.empty()) << entry.path();
+        }
+    }
+    if (expect_some)
+        EXPECT_GT(files, 0u) << dir;
 }
 
 void
@@ -303,11 +360,16 @@ runEquivalence(defense::DefenseKind kind)
             cfg.telemetry.traceOutPath = scratch.sub(tag + ".trace.json");
             cfg.telemetry.heartbeatPath = scratch.sub(tag + ".hb.jsonl");
             cfg.telemetry.heartbeatIntervalSec = 0.05;
-            core::Campaign(cfg).run();
+            cfg.telemetry.uarchTraceDir = scratch.sub(tag + ".utraces");
+            const core::CampaignStats stats = core::Campaign(cfg).run();
             EXPECT_EQ(reference,
                       corpus::CorpusStore::exportCanonical(cfg.corpusDir));
             checkHeartbeat(cfg.telemetry.heartbeatPath, cfg.numPrograms);
             checkTrace(cfg.telemetry.traceOutPath);
+            // Per-violation pipeline traces exist whenever violations
+            // were journaled, and parse as balanced Kanata logs.
+            checkKanataDir(cfg.telemetry.uarchTraceDir,
+                           !stats.records.empty());
         }
     }
 }
