@@ -88,6 +88,9 @@ usage(const char *argv0)
         "  --no-prime-cache  re-simulate conflict-fill priming per input\n"
         "                    (runtime knob; results are identical, see "
         "--list)\n"
+        "  --no-ctrace-memo  re-run the contract-trace emulator cold per\n"
+        "                    input (runtime knob; results are identical, "
+        "see --list)\n"
         "  --naive           AMuLeT-Naive (restart per input)\n"
         "  --invalidate      invalidate-hook cache reset (default: "
         "conflict fill)\n"
@@ -140,7 +143,8 @@ listChoices()
     // signatures, counters, record bytes) — only how/where the same
     // work runs. They are excluded from the corpus config fingerprint.
     std::printf("\nruntime knobs: --jobs --backend --no-prime-cache "
-                "(prime cache default: on)\n");
+                "--no-ctrace-memo\n"
+                "(prime cache + ctrace memo default: on)\n");
 }
 
 /**
@@ -727,6 +731,9 @@ main(int argc, char **argv)
         } else if (arg == "--no-prime-cache") {
             only("run");
             cfg.harness.primeCache = false;
+        } else if (arg == "--no-ctrace-memo") {
+            only("run");
+            cfg.ctraceMemo = false;
         } else if (arg == "--naive") {
             only("run");
             cfg.harness.naiveMode = true;
@@ -838,7 +845,7 @@ main(int argc, char **argv)
 
     std::printf("campaign: defense=%s%s contract=%s trace=%s programs=%u "
                 "inputs=%u x %u pages=%u seed=%llu jobs=%u "
-                "backend=%s%s%s%s%s%s%s\n\n",
+                "backend=%s%s%s%s%s%s%s%s\n\n",
                 defense::defenseKindName(kind), patched ? " (patched)" : "",
                 cfg.contract.name.c_str(),
                 executor::traceFormatName(cfg.harness.traceFormat),
@@ -848,6 +855,7 @@ main(int argc, char **argv)
                 executor::backendKindName(cfg.backend),
                 cfg.filterIneffective ? "" : " NOFILTER",
                 cfg.harness.primeCache ? "" : " NOPRIMECACHE",
+                cfg.ctraceMemo ? "" : " NOCTRACEMEMO",
                 cfg.harness.naiveMode ? " NAIVE" : "",
                 cfg.corpusDir.empty() ? "" : " corpus=",
                 cfg.corpusDir.c_str(), cfg.resume ? " (resume)" : "");

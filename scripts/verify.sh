@@ -124,6 +124,27 @@ cmp "${SMOKE}/full.jsonl" "${SMOKE}/pcoff.jsonl"
 
 echo "prime-cache smoke: OK"
 
+# --- Ctrace-memo smoke: memoized collection must not move a record byte -----
+# The ctrace-memo equivalence contract (src/contracts/README.md): forking
+# the emulator at the first divergent initial-state read and replaying
+# only the suffix reproduces the cold collector's trace exactly, so
+# corpus exports — headers included, the knob is excluded from the config
+# fingerprint — are byte-identical with the memo on (default) and off.
+
+echo "--- ctrace-memo smoke: on/off export equivalence"
+"${CLI}" "${CAMPAIGN[@]}" --no-ctrace-memo --corpus-dir "${SMOKE}/cmoff" \
+    --jobs 2 > /dev/null
+"${CLI}" export --corpus-dir "${SMOKE}/cmoff" --out "${SMOKE}/cmoff.jsonl" \
+    > /dev/null
+test "$(wc -l < "${SMOKE}/cmoff.jsonl")" -gt 1
+cmp "${SMOKE}/full.jsonl" "${SMOKE}/cmoff.jsonl"
+# Runtime knob: a corpus written without the memo resumes and replays
+# with it (and vice versa) — same contract as --jobs/--no-prime-cache.
+"${CLI}" replay --corpus-dir "${SMOKE}/cmoff" > /dev/null
+"${CLI}" --list | grep -q -- "--no-ctrace-memo"
+
+echo "ctrace-memo smoke: OK"
+
 # --- Backend smoke: inproc/async/subprocess must export identically ----------
 # The backend equivalence contract (src/executor/backend.hh): for a fixed
 # (config, seed), corpus exports are byte-identical across every backend —

@@ -20,12 +20,21 @@ Emulator::Emulator(const isa::FlatProgram &prog, ArchState state)
 void
 Emulator::memWrite(Addr addr, unsigned size, std::uint64_t value)
 {
-    if (!checkpoints_.empty()) {
+    if (journalAll_ || !checkpoints_.empty()) {
         for (unsigned i = 0; i < size; ++i)
             journal_.push_back({addr + i, state_.mem.readByte(addr + i)});
     }
     state_.mem.write(addr, size, value);
 }
+
+namespace
+{
+constexpr std::uint32_t
+regBit(isa::Reg r)
+{
+    return std::uint32_t{1} << isa::regIndex(r);
+}
+} // namespace
 
 bool
 Emulator::step()
@@ -65,6 +74,8 @@ Emulator::step()
       }
       case Op::Loopne: {
         last_.isBranch = true;
+        last_.regsRead = regBit(isa::Reg::Rcx);
+        last_.regsWritten = regBit(isa::Reg::Rcx);
         const RegVal rcx = state_.reg(isa::Reg::Rcx) - 1;
         state_.setReg(isa::Reg::Rcx, rcx);
         last_.branchTaken = rcx != 0 && !state_.flags.zf;
@@ -81,12 +92,16 @@ Emulator::step()
             addr = state_.effectiveAddr(inst.mem);
             last_.memAddr = addr;
             last_.memSize = inst.width;
+            last_.regsRead |= regBit(inst.mem.base);
+            if (inst.mem.hasIndex)
+                last_.regsRead |= regBit(inst.mem.index);
         }
 
         std::uint64_t src = 0;
         switch (inst.srcKind) {
           case OpndKind::Reg:
             src = truncateToSize(state_.reg(inst.src), inst.width);
+            last_.regsRead |= regBit(inst.src);
             break;
           case OpndKind::Imm:
             src = static_cast<std::uint64_t>(inst.imm);
@@ -103,6 +118,7 @@ Emulator::step()
         std::uint64_t dst_old = 0;
         if (inst.dstKind == OpndKind::Reg) {
             dst_old = state_.reg(inst.dst);
+            last_.regsRead |= regBit(inst.dst);
         } else if (inst.dstKind == OpndKind::Mem) {
             dst_old = state_.mem.read(addr, inst.width);
             if (inst.isRmw()) {
@@ -119,6 +135,7 @@ Emulator::step()
         if (res.writesDst) {
             if (inst.dstKind == OpndKind::Reg) {
                 state_.setReg(inst.dst, res.value);
+                last_.regsWritten |= regBit(inst.dst);
             } else if (inst.dstKind == OpndKind::Mem) {
                 memWrite(addr, inst.width, res.value);
                 last_.didStore = true;
@@ -156,16 +173,70 @@ Emulator::rollbackCheckpoint()
     assert(!checkpoints_.empty());
     const Checkpoint &cp = checkpoints_.back();
     // Undo journaled stores in reverse order.
-    for (std::size_t i = journal_.size(); i > cp.journalMark; --i) {
-        const JournalEntry &e = journal_[i - 1];
-        state_.mem.writeByte(e.addr, e.oldByte);
-    }
-    journal_.resize(cp.journalMark);
+    undoJournalTo(cp.journalMark);
     state_.regs = cp.regs;
     state_.flags = cp.flags;
     state_.nextIdx = cp.nextIdx;
     halted_ = cp.halted;
     checkpoints_.pop_back();
+}
+
+void
+Emulator::enableJournal()
+{
+    assert(journal_.empty() && checkpoints_.empty());
+    journalAll_ = true;
+    journal_.reserve(1024);
+    checkpoints_.reserve(8);
+}
+
+void
+Emulator::undoJournalTo(std::size_t mark)
+{
+    for (std::size_t i = journal_.size(); i > mark; --i) {
+        const JournalEntry &e = journal_[i - 1];
+        state_.mem.writeByte(e.addr, e.oldByte);
+    }
+    journal_.resize(mark);
+}
+
+ArchSnapshot
+Emulator::snapshot() const
+{
+    assert(journalAll_ && checkpoints_.empty());
+    return {state_.regs, state_.flags, state_.nextIdx, halted_,
+            journal_.size()};
+}
+
+void
+Emulator::restore(const ArchSnapshot &snap)
+{
+    assert(checkpoints_.empty());
+    assert(snap.journalMark <= journal_.size());
+    undoJournalTo(snap.journalMark);
+    restoreCpu(snap);
+}
+
+void
+Emulator::restoreCpu(const ArchSnapshot &snap)
+{
+    state_.regs = snap.regs;
+    state_.flags = snap.flags;
+    state_.nextIdx = snap.nextIdx;
+    halted_ = snap.halted;
+}
+
+void
+Emulator::rewindAllWrites()
+{
+    assert(checkpoints_.empty());
+    undoJournalTo(0);
+}
+
+void
+Emulator::pokeByte(Addr addr, std::uint8_t value)
+{
+    memWrite(addr, 1, value);
 }
 
 void

@@ -36,6 +36,29 @@ struct StepEffects
     bool branchTaken = false;
     Addr branchTarget = 0;         ///< resolved next PC for branches
     bool halted = false;
+    /** Registers read, one bit per isa::regIndex. Conservative: the
+     *  destination's prior value counts as read even for plain
+     *  overwrites (MOV), so a "not read" bit is a guarantee. */
+    std::uint32_t regsRead = 0;
+    /** Registers actually written back (exact). */
+    std::uint32_t regsWritten = 0;
+};
+
+/**
+ * Cheap point-in-time capture of an emulator: the CPU state by value
+ * plus a watermark into the dirty-byte journal (enableJournal() mode),
+ * so restoring costs O(bytes written since capture), not O(sandbox).
+ * Valid for the emulator it was taken from, while every journal entry
+ * up to the watermark is still intact (restore() truncates the journal,
+ * invalidating snapshots taken after the restored one).
+ */
+struct ArchSnapshot
+{
+    std::array<RegVal, isa::kNumRegs> regs{};
+    isa::Flags flags;
+    std::size_t nextIdx = 0;
+    bool halted = false;
+    std::size_t journalMark = 0;
 };
 
 /** Deterministic architectural executor with speculation checkpoints. */
@@ -79,6 +102,27 @@ class Emulator
     /** Force the next instruction index (used to follow a wrong path). */
     void redirect(std::size_t idx);
 
+    /** @name Snapshot / fork (contract-trace memoization support)
+     *  With the journal enabled every committed store is journaled too
+     *  (not only stores under a speculation checkpoint), which makes a
+     *  snapshot just the CPU state plus a journal watermark. Snapshots
+     *  must be taken and restored at checkpoint depth 0. */
+    /// @{
+    /** Journal all stores from now on. Call once, before stepping. */
+    void enableJournal();
+    bool journalEnabled() const { return journalAll_; }
+    ArchSnapshot snapshot() const;
+    /** Undo stores made since @p snap, then restore its CPU state. */
+    void restore(const ArchSnapshot &snap);
+    /** Restore only the CPU side of @p snap (memory untouched). */
+    void restoreCpu(const ArchSnapshot &snap);
+    /** Undo the whole journal: memory as right after construction. */
+    void rewindAllWrites();
+    /** Journaled single-byte store (fork-time divergence patching). */
+    void pokeByte(Addr addr, std::uint8_t value);
+    std::size_t journalSize() const { return journal_.size(); }
+    /// @}
+
     /** Hard cap on architectural steps (programs are DAGs, so this is a
      *  safety net, not a semantic limit). */
     static constexpr std::size_t kDefaultMaxSteps = 100000;
@@ -100,11 +144,13 @@ class Emulator
     };
 
     void memWrite(Addr addr, unsigned size, std::uint64_t value);
+    void undoJournalTo(std::size_t mark);
 
     const isa::FlatProgram &prog_;
     ArchState state_;
     StepEffects last_;
     bool halted_ = false;
+    bool journalAll_ = false;
     std::vector<Checkpoint> checkpoints_;
     std::vector<JournalEntry> journal_;
 };

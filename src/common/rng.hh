@@ -38,8 +38,23 @@ class Rng
     static constexpr result_type max() { return ~result_type{0}; }
     result_type operator()() { return next(); }
 
-    /** Next raw 64-bit value. */
-    std::uint64_t next();
+    /** Next raw 64-bit value. Inline: the sandbox-fill loops of input
+     *  generation draw one word per 8 bytes, so a cross-TU call here
+     *  is a measurable fraction of large-sandbox (STT) campaigns. */
+    std::uint64_t next()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+
+        return result;
+    }
 
     /** Uniform integer in [0, bound) without modulo bias. 0 if bound==0. */
     std::uint64_t nextBelow(std::uint64_t bound);
@@ -76,6 +91,11 @@ class Rng
     /// @}
 
   private:
+    static std::uint64_t rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::uint64_t s_[4];
 };
 

@@ -71,6 +71,16 @@ struct CampaignConfig
      *  (tests/test_backend.cc). */
     executor::BackendKind backend = executor::BackendKind::InProcess;
 
+    /** Contract-trace batch memoization (src/contracts/README.md):
+     *  CTraceStage runs one instrumented emulator pass per base input
+     *  and serves probes/siblings by snapshot-fork instead of cold
+     *  re-execution. A runtime knob like backend/primeCache — excluded
+     *  from the corpus config fingerprint; traces, verdicts, and
+     *  records are byte-identical with it on or off
+     *  (tests/test_ctrace_memo.cc), and Debug builds re-collect every
+     *  32nd batch cold and assert equality. */
+    bool ctraceMemo = true;
+
     bool stopAtFirstViolation = false;
     bool collectSignatures = true;
     /** Also extract every other trace format per run (Table 5 overlap

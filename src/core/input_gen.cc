@@ -6,6 +6,17 @@
 namespace amulet::core
 {
 
+std::vector<std::uint8_t>
+InputGenerator::takeSandbox(std::size_t n)
+{
+    std::vector<std::uint8_t> buf = pool_ ? pool_->take()
+                                          : std::vector<std::uint8_t>{};
+    // A warm buffer's resize is a no-op (same size) or capacity reuse;
+    // only a cold pool pays the allocate-and-zero.
+    buf.resize(n);
+    return buf;
+}
+
 arch::Input
 InputGenerator::generate(std::uint64_t id)
 {
@@ -16,11 +27,17 @@ InputGenerator::generate(std::uint64_t id)
                                                  : rng_.next();
     }
     input.flagsByte = static_cast<std::uint8_t>(rng_.next() & 0x1f);
-    input.sandbox.resize(cfg_.map.sandboxSize());
-    for (std::size_t i = 0; i + 8 <= input.sandbox.size(); i += 8) {
+    const std::size_t n = cfg_.map.sandboxSize();
+    input.sandbox = takeSandbox(n);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
         const std::uint64_t w = rng_.next();
         std::memcpy(&input.sandbox[i], &w, 8);
     }
+    // Tail bytes (sandbox size not a word multiple) are defined to be
+    // zero; a recycled buffer may hold stale bytes there.
+    for (; i < n; ++i)
+        input.sandbox[i] = 0;
     return input;
 }
 
@@ -29,15 +46,25 @@ InputGenerator::sibling(const arch::Input &base,
                         const std::vector<std::size_t> &read_offsets,
                         std::uint64_t id)
 {
-    arch::Input input = base;
+    arch::Input input;
     input.id = id;
+    input.regs = base.regs;
+    input.flagsByte = base.flagsByte;
     // Randomize everything, then restore the contract-relevant bytes.
-    for (std::size_t i = 0; i + 8 <= input.sandbox.size(); i += 8) {
+    // Filling the buffer (instead of copying the base sandbox and
+    // overwriting it) draws the same words, so the result is
+    // byte-identical — only the dead 512KB copy per STT sibling goes.
+    const std::size_t n = base.sandbox.size();
+    input.sandbox = takeSandbox(n);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
         const std::uint64_t w = rng_.next();
         std::memcpy(&input.sandbox[i], &w, 8);
     }
+    for (; i < n; ++i)
+        input.sandbox[i] = base.sandbox[i];
     for (std::size_t off : read_offsets) {
-        if (off < input.sandbox.size())
+        if (off < n)
             input.sandbox[off] = base.sandbox[off];
     }
     return input;

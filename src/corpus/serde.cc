@@ -1128,6 +1128,11 @@ configToJson(const core::CampaignConfig &config)
     j.set("maxViolationsRecorded",
           Json::number(std::uint64_t{config.maxViolationsRecorded}));
     j.set("seed", Json::number(config.seed));
+    // CampaignConfig::ctraceMemo is deliberately NOT serialized: a
+    // runtime knob like jobs/backend/primeCache — contract traces are
+    // byte-identical with the memo on or off (tests/test_ctrace_memo.cc)
+    // — so it must not move the corpus config fingerprint, and corpora
+    // written with different settings may mix.
     return j;
 }
 

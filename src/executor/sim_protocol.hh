@@ -48,7 +48,12 @@ using corpus::Json;
  *  v3: run requests may carry "utrace":true; the reply then carries
  *  "utrace", the serialized per-instruction pipeline trace of the run
  *  (uarchRunTraceToJson). Purely additive for the result path — traced
- *  and untraced runs are state-identical. */
+ *  and untraced runs are state-identical.
+ *
+ *  CampaignConfig::ctraceMemo (the other fingerprint-excluded runtime
+ *  knob of its kind) never crosses the wire at all: contract traces
+ *  are collected parent-side in CTraceStage, and the worker only ever
+ *  sees the simulator half of the pipeline. */
 inline constexpr unsigned kProtocolVersion = 3;
 
 /** @name Shared field encodings */

@@ -42,6 +42,11 @@ namespace amulet::telemetry
 class TelemetrySink;
 }
 
+namespace amulet::core
+{
+class InputBufferPool;
+}
+
 namespace amulet::pipeline
 {
 
@@ -77,6 +82,10 @@ struct StageContext
      *  here for stages that want finer-grained custom metrics.
      *  Observability only — stages must never branch on it. */
     telemetry::TelemetrySink *telemetry = nullptr;
+    /** Shard-lived recycler for input sandbox buffers (or null). Purely
+     *  an allocation optimization: generated inputs are byte-identical
+     *  with or without it (src/core/input_gen.hh). */
+    core::InputBufferPool *inputPool = nullptr;
 };
 
 /** A candidate pair that survived context-swap validation. */

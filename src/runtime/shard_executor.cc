@@ -60,7 +60,8 @@ pipeline::StageContext
 ShardExecutor::stageContext(executor::SimBackend &lane)
 {
     return pipeline::StageContext{cfg_,          lane, model_,
-                                  canonicalCtx_, t0_,  sink_};
+                                  canonicalCtx_, t0_,  sink_,
+                                  &inputPool_};
 }
 
 pipeline::ProgramPlan
@@ -89,6 +90,7 @@ ShardExecutor::runProgram(unsigned p, Rng prog_rng)
     pipeline::ProgramPlan plan = prepare(p, std::move(prog_rng));
     if (!plan.halt)
         finish(plan, *backend_);
+    reclaim(plan);
     return std::move(plan.outcome);
 }
 
@@ -168,6 +170,7 @@ ShardExecutor::runClaimed(const ClaimFn &claim,
                     prepare(*p, streams[*p]));
                 if (!plan->halt)
                     return plan;
+                reclaim(*plan);
                 report(plan->programIndex, std::move(plan->outcome));
             }
             return nullptr;
@@ -194,7 +197,10 @@ ShardExecutor::runClaimed(const ClaimFn &claim,
                 prepared = next_executable();
             // Dual lanes: both may be executing; finishing cur only
             // waits on its own lane.
+            // The lane has collected every batch that pointed into this
+            // plan, so its input buffers can go back to the pool.
             finish(*cur.plan, *cur.lane);
+            reclaim(*cur.plan);
             report(cur.plan->programIndex,
                    std::move(cur.plan->outcome));
             executor::SimBackend &freed = *cur.lane;

@@ -42,6 +42,7 @@
 #include "common/rng.hh"
 #include "contracts/leakage_model.hh"
 #include "core/campaign.hh"
+#include "core/input_gen.hh"
 #include "executor/backend.hh"
 #include "pipeline/pipeline.hh"
 #include "runtime/violation_sink.hh"
@@ -115,6 +116,13 @@ class ShardExecutor
     void finish(pipeline::ProgramPlan &plan, executor::SimBackend &lane);
     /** Build lane @p laneIndex's backend with its own telemetry sink. */
     std::unique_ptr<executor::SimBackend> makeLane(unsigned laneIndex);
+    /** Return a finished plan's sandbox buffers to the pool. Callers
+     *  must be past every stage that reads plan.inputs (RecordStage
+     *  copies inputs into corpus records, never references them). */
+    void reclaim(pipeline::ProgramPlan &plan)
+    {
+        inputPool_.recycleAll(plan.inputs);
+    }
 
     const core::CampaignConfig &cfg_;
     telemetry::CampaignTelemetry *tel_; ///< null: telemetry off
@@ -123,6 +131,9 @@ class ShardExecutor
     std::unique_ptr<executor::SimBackend> backend_;  ///< lane 0
     std::unique_ptr<executor::SimBackend> backend2_; ///< lane 1 (pipelined)
     contracts::LeakageModel model_;
+    /** Recycles input sandbox storage across the shard's programs, so
+     *  the CTrace stage's hot loop allocates nothing after warm-up. */
+    core::InputBufferPool inputPool_;
     executor::UarchContext canonicalCtx_; ///< post-boot predictor state
     Clock::time_point t0_;
     pipeline::ProgramPipeline prefix_;  ///< TestGen → CTrace → Filter
