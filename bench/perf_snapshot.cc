@@ -6,11 +6,13 @@
  * Emits one JSON object on stdout with tests/second, the full
  * TimeBreakdown, and per-input simulator latency percentiles (from the
  * telemetry registry's sim.inputLatencySec histogram) for a seeded
- * campaign per defense, plus two runtime-knob off→on ablations: the
+ * campaign per defense, plus three runtime-knob off→on ablations: the
  * prime cache on the table3 baseline campaign (CT-COND, inproc,
- * jobs=1) and the contract-trace memo on the STT campaign (ARCH-SEQ,
+ * jobs=1), the contract-trace memo on the STT campaign (ARCH-SEQ,
  * 128-page sandbox — the cell where cold collection used to eat ~half
- * the wall clock). Wall-clock numbers are hardware-dependent — the
+ * the wall clock), and event-horizon cycle skipping on the InvisiSpec
+ * campaign (CT-SEQ — the miss-heavy cell with the longest quiescent
+ * windows). Wall-clock numbers are hardware-dependent — the
  * JSON is a trajectory point for regression *tracking*, not a gate;
  * the `speedup` fields of the ablations are the shapes CI can reason
  * about across hosts.
@@ -194,6 +196,68 @@ main()
                            same_verdict(m_off1, m_off2) &&
                            same_verdict(m_off1, m_on2)));
 
+    // The PR-9 ablation: InvisiSpec's CT-SEQ campaign, in-process,
+    // jobs=1, event-horizon cycle skipping off vs on. InvisiSpec is
+    // the miss-heavy cell — every speculative load goes invisible and
+    // re-exposes at commit, so the simulator spends long stretches
+    // waiting on scheduled fills with nothing else in flight; exactly
+    // the quiescent windows skipping elides. Judged on simulateSec
+    // (the collapsed stage), interleaved best-of-two like the memo
+    // ablation above, with the skip counters from the telemetry
+    // registry riding along so the gate can insist skipping actually
+    // engaged rather than trivially passing on a no-op.
+    core::CampaignConfig skp = campaignFor(defense::DefenseKind::InvisiSpec);
+    skp.numPrograms = scaled(40);
+    core::CampaignConfig skp_off = skp;
+    skp_off.harness.cycleSkip = false;
+    const auto s_off1 = run(skp_off);
+    const auto s_on1 = run(skp);
+    const auto s_off2 = run(skp_off);
+    const auto s_on2 = run(skp);
+    const auto &skp_off_stats =
+        s_off1.times.simulateSec <= s_off2.times.simulateSec ? s_off1
+                                                             : s_off2;
+    const auto &skp_on_stats =
+        s_on1.times.simulateSec <= s_on2.times.simulateSec ? s_on1
+                                                           : s_on2;
+    const auto counter_of = [](const core::CampaignStats &stats,
+                               const char *name) {
+        const auto it = stats.metrics.find(name);
+        return it == stats.metrics.end() ? 0.0 : it->second.value;
+    };
+    Json skip = Json::object();
+    skip.set("defense", Json::str("invisispec"));
+    skip.set("contract", Json::str(skp.contract.name));
+    skip.set("backend", Json::str("inproc"));
+    skip.set("jobs", Json::number(std::uint64_t{1}));
+    skip.set("runsPerMode", Json::number(std::uint64_t{2}));
+    skip.set("offTestsPerSec", Json::number(skp_off_stats.throughput()));
+    skip.set("onTestsPerSec", Json::number(skp_on_stats.throughput()));
+    skip.set("speedup",
+             Json::number(skp_off_stats.throughput() > 0
+                              ? skp_on_stats.throughput() /
+                                    skp_off_stats.throughput()
+                              : 0.0));
+    skip.set("offSimulateSec",
+             Json::number(skp_off_stats.times.simulateSec));
+    skip.set("onSimulateSec",
+             Json::number(skp_on_stats.times.simulateSec));
+    skip.set("simulateSpeedup",
+             Json::number(skp_on_stats.times.simulateSec > 0
+                              ? skp_off_stats.times.simulateSec /
+                                    skp_on_stats.times.simulateSec
+                              : 0.0));
+    skip.set("skippedCycles",
+             Json::number(counter_of(skp_on_stats, "sim.skippedCycles")));
+    skip.set("skipWindows",
+             Json::number(counter_of(skp_on_stats, "sim.skipWindows")));
+    // All four runs must agree — the knob (either setting, either
+    // repetition) must be invisible to detection results.
+    skip.set("verdictsEqual",
+             Json::boolean(same_verdict(s_off1, s_on1) &&
+                           same_verdict(s_off1, s_off2) &&
+                           same_verdict(s_off1, s_on2)));
+
     Json out = Json::object();
     out.set("bench", Json::str("perf_snapshot"));
     out.set("scale", Json::number(scale()));
@@ -202,12 +266,13 @@ main()
                 std::thread::hardware_concurrency()}));
     out.set("note", Json::str("wall-clock numbers are hardware-"
                               "dependent; compare shapes and the "
-                              "primeCacheAblation / "
-                              "ctraceMemoAblation speedups, not "
+                              "primeCacheAblation / ctraceMemoAblation "
+                              "/ cycleSkipAblation speedups, not "
                               "absolute values"));
     out.set("defenses", std::move(defenses));
     out.set("primeCacheAblation", std::move(ablation));
     out.set("ctraceMemoAblation", std::move(memo));
+    out.set("cycleSkipAblation", std::move(skip));
 
     const std::string text = out.dump();
     std::fwrite(text.data(), 1, text.size(), stdout);

@@ -32,6 +32,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -101,6 +102,11 @@ measureCell(defense::DefenseKind kind, const Trigger &trigger)
                     ? executor::PrimeMode::Invalidate
                     : executor::PrimeMode::ConflictFill;
     cfg.bootInsts = 1500;
+    // AMULET_NO_CYCLE_SKIP=1 disables event-horizon cycle skipping.
+    // scripts/bench.sh diffs an atlas produced each way: the two runs
+    // must be byte-identical, since the atlas is derived entirely from
+    // committed-cycle timestamps that skipping preserves.
+    cfg.cycleSkip = std::getenv("AMULET_NO_CYCLE_SKIP") == nullptr;
 
     const isa::Program prog = atlasProgram(trigger.disp);
     const isa::FlatProgram fp(prog, cfg.map.codeBase);

@@ -112,10 +112,12 @@ struct Worker
             }
             executor::HarnessConfig cfg =
                 corpus::harnessFromJson(req.at("harness"));
-            // primeCache travels outside the harness config: it is a
-            // runtime knob excluded from the corpus fingerprint.
+            // primeCache/cycleSkip travel outside the harness config:
+            // runtime knobs excluded from the corpus fingerprint.
             if (const Json *pc = req.find("primeCache"))
                 cfg.primeCache = pc->asBool();
+            if (const Json *cs = req.find("cycleSkip"))
+                cfg.cycleSkip = cs->asBool();
             harness.emplace(std::move(cfg));
             return okReply();
         }

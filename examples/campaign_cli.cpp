@@ -91,6 +91,10 @@ usage(const char *argv0)
         "  --no-ctrace-memo  re-run the contract-trace emulator cold per\n"
         "                    input (runtime knob; results are identical, "
         "see --list)\n"
+        "  --no-cycle-skip   simulate every quiescent cycle instead of\n"
+        "                    fast-forwarding to the next event (runtime "
+        "knob;\n"
+        "                    results are identical, see --list)\n"
         "  --naive           AMuLeT-Naive (restart per input)\n"
         "  --invalidate      invalidate-hook cache reset (default: "
         "conflict fill)\n"
@@ -143,8 +147,8 @@ listChoices()
     // signatures, counters, record bytes) — only how/where the same
     // work runs. They are excluded from the corpus config fingerprint.
     std::printf("\nruntime knobs: --jobs --backend --no-prime-cache "
-                "--no-ctrace-memo\n"
-                "(prime cache + ctrace memo default: on)\n");
+                "--no-ctrace-memo --no-cycle-skip\n"
+                "(prime cache + ctrace memo + cycle skip default: on)\n");
 }
 
 /**
@@ -396,6 +400,24 @@ cmdStats(const std::string &dir, unsigned top)
                         lat->at("mean").asDouble() * 1e6,
                         static_cast<unsigned long long>(
                             lat->at("count").asU64()));
+        }
+
+        if (const corpus::Json *skip = metrics.find("sim.skipCycles")) {
+            auto counter_of = [&metrics](const char *name) {
+                const corpus::Json *c = metrics.find(name);
+                return c ? c->at("value").asU64() : std::uint64_t{0};
+            };
+            std::printf("cycle skipping: %llu cycles elided over %llu "
+                        "windows; window p50=%.0f p95=%.0f p99=%.0f "
+                        "mean=%.1f cycles\n",
+                        static_cast<unsigned long long>(
+                            counter_of("sim.skippedCycles")),
+                        static_cast<unsigned long long>(
+                            counter_of("sim.skipWindows")),
+                        skip->at("p50").asDouble(),
+                        skip->at("p95").asDouble(),
+                        skip->at("p99").asDouble(),
+                        skip->at("mean").asDouble());
         }
 
         const corpus::Json &spans = doc.at("topSpans");
@@ -734,6 +756,9 @@ main(int argc, char **argv)
         } else if (arg == "--no-ctrace-memo") {
             only("run");
             cfg.ctraceMemo = false;
+        } else if (arg == "--no-cycle-skip") {
+            only("run");
+            cfg.harness.cycleSkip = false;
         } else if (arg == "--naive") {
             only("run");
             cfg.harness.naiveMode = true;
@@ -845,7 +870,7 @@ main(int argc, char **argv)
 
     std::printf("campaign: defense=%s%s contract=%s trace=%s programs=%u "
                 "inputs=%u x %u pages=%u seed=%llu jobs=%u "
-                "backend=%s%s%s%s%s%s%s%s\n\n",
+                "backend=%s%s%s%s%s%s%s%s%s\n\n",
                 defense::defenseKindName(kind), patched ? " (patched)" : "",
                 cfg.contract.name.c_str(),
                 executor::traceFormatName(cfg.harness.traceFormat),
@@ -856,6 +881,7 @@ main(int argc, char **argv)
                 cfg.filterIneffective ? "" : " NOFILTER",
                 cfg.harness.primeCache ? "" : " NOPRIMECACHE",
                 cfg.ctraceMemo ? "" : " NOCTRACEMEMO",
+                cfg.harness.cycleSkip ? "" : " NOCYCLESKIP",
                 cfg.harness.naiveMode ? " NAIVE" : "",
                 cfg.corpusDir.empty() ? "" : " corpus=",
                 cfg.corpusDir.c_str(), cfg.resume ? " (resume)" : "");

@@ -2,27 +2,33 @@
 # Machine-readable perf harness: build the tree, run bench/perf_snapshot,
 # and write the campaign-throughput trajectory point (tests/s per defense
 # + TimeBreakdown + per-input sim latency percentiles from the telemetry
-# registry + the prime-cache and ctrace-memo off->on ablations) to
-# BENCH_7.json. Also runs bench/window_atlas and writes the speculation-
-# window atlas (simulator-deterministic mis-speculation window length per
-# defense x trigger) to WINDOW_ATLAS.json next to it.
+# registry + the prime-cache, ctrace-memo, and cycle-skip off->on
+# ablations) to BENCH_8.json. Also runs bench/window_atlas twice — once
+# with event-horizon cycle skipping (the default), once with
+# AMULET_NO_CYCLE_SKIP=1 — and writes the speculation-window atlas
+# (simulator-deterministic mis-speculation window length per defense x
+# trigger) to WINDOW_ATLAS.json next to it; the two runs must be
+# byte-identical, since the atlas is derived entirely from state
+# skipping preserves.
 #
 # Wall-clock numbers are hardware-dependent: the JSON is for tracking the
 # perf trajectory across commits on comparable hosts, and CI publishes it
 # as a non-gating artifact. The host-independent shapes are the ablations'
 # speedup fields, which this script sanity-checks: the prime cache on the
-# table3 baseline campaign (CT-COND, inproc, jobs=1) must be >= 1.5x, and
-# the ctrace memo on the STT ARCH-SEQ campaign must strictly cut
-# ctraceSec with identical verdicts. (The memo gate is directional, not a
-# multiple: on that cell the memo removes the whole cold collect per
-# sibling, but ~55% of the stage is the PRNG fill of each fresh 512KB
-# sibling sandbox, which bounds the stage ratio near 1.2x — see
-# src/contracts/README.md.)
+# table3 baseline campaign (CT-COND, inproc, jobs=1) must be >= 1.5x, the
+# ctrace memo on the STT ARCH-SEQ campaign must strictly cut ctraceSec
+# with identical verdicts, and cycle skipping on the InvisiSpec CT-SEQ
+# campaign must strictly cut simulateSec with identical verdicts while
+# actually engaging (sim.skippedCycles > 0). (The memo gate is
+# directional, not a multiple: on that cell the memo removes the whole
+# cold collect per sibling, but ~55% of the stage is the PRNG fill of
+# each fresh 512KB sibling sandbox, which bounds the stage ratio near
+# 1.2x — see src/contracts/README.md.)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_7.json}"
+OUT="${1:-BENCH_8.json}"
 ATLAS="${2:-$(dirname "${OUT}")/WINDOW_ATLAS.json}"
 JOBS="${VERIFY_JOBS:-$(nproc)}"
 
@@ -63,18 +69,40 @@ print(f"  ctrace-memo ablation ({m['defense']}, {m['contract']}, "
       f"{m['offTestsPerSec']:.1f} -> {m['onTestsPerSec']:.1f} tests/s; "
       f"ctrace share of wall {m['offCtraceShareOfWall']:.0%} -> "
       f"{m['onCtraceShareOfWall']:.0%}")
+s = data["cycleSkipAblation"]
+print(f"  cycle-skip ablation ({s['defense']}, {s['contract']}, "
+      f"{s['backend']}, jobs={s['jobs']}, best of "
+      f"{s['runsPerMode']}/mode): simulate {s['offSimulateSec']:.3f}s -> "
+      f"{s['onSimulateSec']:.3f}s ({s['simulateSpeedup']:.2f}x), "
+      f"{s['offTestsPerSec']:.1f} -> {s['onTestsPerSec']:.1f} tests/s; "
+      f"{s['skippedCycles']:.0f} cycles elided over "
+      f"{s['skipWindows']:.0f} windows")
 ok = (a["speedup"] >= 1.5 and a["verdictsEqual"] and
-      m["ctraceSpeedup"] > 1.0 and m["verdictsEqual"])
+      m["ctraceSpeedup"] > 1.0 and m["verdictsEqual"] and
+      s["simulateSpeedup"] > 1.0 and s["verdictsEqual"] and
+      s["skippedCycles"] > 0)
 sys.exit(0 if ok else 1)
 EOF
 then
   echo "FAIL: prime ablation below 1.5x, memo did not cut ctraceSec," \
+       "skipping did not cut simulateSec (or never engaged)," \
        "or verdicts diverged" >&2
   exit 1
 fi
-echo "bench: OK (prime >= 1.5x, memo cuts ctraceSec, verdicts unchanged)"
+echo "bench: OK (prime >= 1.5x, memo cuts ctraceSec, skip cuts" \
+     "simulateSec, verdicts unchanged)"
 
 ./build/bench/window_atlas > "${ATLAS}"
+# Cycle-skip equivalence on the atlas itself: the second run disables
+# skipping; the emitted JSON (every committed-cycle timestamp and window
+# length in it) must not move by a byte.
+AMULET_NO_CYCLE_SKIP=1 ./build/bench/window_atlas > "${ATLAS}.noskip"
+if ! cmp -s "${ATLAS}" "${ATLAS}.noskip"; then
+  echo "FAIL: window atlas differs with cycle skipping disabled" >&2
+  exit 1
+fi
+rm -f "${ATLAS}.noskip"
+echo "bench: atlas byte-identical with and without cycle skipping"
 echo "wrote ${ATLAS}:"
 # Unlike the perf numbers, atlas cycle counts are simulator-deterministic
 # (no wall clock involved), so their shape is checkable everywhere: every

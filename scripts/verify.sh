@@ -145,6 +145,31 @@ cmp "${SMOKE}/full.jsonl" "${SMOKE}/cmoff.jsonl"
 
 echo "ctrace-memo smoke: OK"
 
+# --- Cycle-skip smoke: fast-forwarding must not move a record byte ----------
+# The cycle-skip equivalence contract (src/uarch/README.md): jumping the
+# simulator over quiescent cycles — cycles with no pipeline, memory, or
+# defense event before the next scheduled one — lands exactly on the
+# event cycle, so corpus exports — headers included, the knob is
+# excluded from the config fingerprint — are byte-identical with
+# skipping on (default) and off.
+
+echo "--- cycle-skip smoke: on/off export equivalence"
+"${CLI}" "${CAMPAIGN[@]}" --no-cycle-skip --corpus-dir "${SMOKE}/csoff" \
+    --jobs 2 > /dev/null
+"${CLI}" export --corpus-dir "${SMOKE}/csoff" --out "${SMOKE}/csoff.jsonl" \
+    > /dev/null
+test "$(wc -l < "${SMOKE}/csoff.jsonl")" -gt 1
+cmp "${SMOKE}/full.jsonl" "${SMOKE}/csoff.jsonl"
+# Runtime knob: a corpus written without skipping resumes and replays
+# with it (and vice versa) — same contract as --jobs/--no-prime-cache.
+"${CLI}" replay --corpus-dir "${SMOKE}/csoff" > /dev/null
+"${CLI}" --list | grep -q -- "--no-cycle-skip"
+# And the campaign must actually skip: the telemetry registry's cycle
+# counters are live in the default (skipping) reference corpus.
+"${CLI}" stats --corpus-dir "${SMOKE}/full" | grep -q "cycle skipping"
+
+echo "cycle-skip smoke: OK"
+
 # --- Backend smoke: inproc/async/subprocess must export identically ----------
 # The backend equivalence contract (src/executor/backend.hh): for a fixed
 # (config, seed), corpus exports are byte-identical across every backend —

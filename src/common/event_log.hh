@@ -68,6 +68,10 @@ struct Event
     Addr addr = 0;      ///< memory address, if applicable
     std::string note;   ///< free-form detail
 
+    /** Field-wise equality (the cycle-skip equivalence audits compare
+     *  whole event streams). */
+    bool operator==(const Event &) const = default;
+
     std::string format() const;
 };
 
@@ -129,6 +133,15 @@ class EventLog
 
     /** Retained events, oldest first. */
     const std::vector<Event> &events() const { return events_; }
+
+    /** Drop events past position @p n (rewind for replay audits: the
+     *  caller marks events().size(), replays, and compares/rewinds). */
+    void
+    truncate(std::size_t n)
+    {
+        if (n < events_.size())
+            events_.resize(n);
+    }
 
     /** Count retained events of one kind. */
     std::size_t countOf(EventKind kind) const;

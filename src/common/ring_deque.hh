@@ -62,6 +62,48 @@ class RingDeque
     T &back() { return (*this)[size_ - 1]; }
     const T &back() const { return (*this)[size_ - 1]; }
 
+    /** @name Stable physical-slot addressing
+     *  A physical slot index survives pop_front (the head only advances)
+     *  — which makes it a stable handle to a live element as long as no
+     *  regrow happens. Callers that cache slot indices (the pipeline's
+     *  rename-time producer links) must reserve() their worst case up
+     *  front; regrow() linearizes and would invalidate every handle. */
+    /// @{
+    /** Physical slot of the element at logical index @p i. */
+    std::size_t slotIndex(std::size_t i) const
+    {
+        assert(i < size_);
+        return slot(i);
+    }
+
+    /** Logical index of physical slot @p phys (must be live). */
+    std::size_t
+    logicalOf(std::size_t phys) const
+    {
+        const std::size_t logical = (phys - head_) & mask_;
+        assert(logical < size_);
+        return logical;
+    }
+
+    /** Element in physical slot @p phys, or nullptr if the slot holds
+     *  no live element (popped, or never filled). */
+    T *
+    atSlot(std::size_t phys)
+    {
+        if (slots_.empty() || ((phys - head_) & mask_) >= size_)
+            return nullptr;
+        return &slots_[phys & mask_];
+    }
+
+    const T *
+    atSlot(std::size_t phys) const
+    {
+        if (slots_.empty() || ((phys - head_) & mask_) >= size_)
+            return nullptr;
+        return &slots_[phys & mask_];
+    }
+    /// @}
+
     void
     push_back(const T &value)
     {

@@ -29,6 +29,10 @@ inline constexpr Addr kNoAddr = ~static_cast<Addr>(0);
 /** Invalid sequence number sentinel. */
 inline constexpr SeqNum kNoSeq = 0;
 
+/** "No scheduled event" sentinel for event-horizon queries (the
+ *  farthest representable cycle; min() folds it away). */
+inline constexpr Cycle kNoEventCycle = ~static_cast<Cycle>(0);
+
 } // namespace amulet
 
 #endif // AMULET_COMMON_TYPES_HH

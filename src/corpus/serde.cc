@@ -1076,11 +1076,12 @@ harnessToJson(const executor::HarnessConfig &config)
     harness.set("tlbPrefill",
                 Json::str(tlbPrefillToken(config.tlbPrefill)));
     harness.set("bootInsts", Json::number(std::uint64_t{config.bootInsts}));
-    // HarnessConfig::primeCache is deliberately NOT serialized: it is a
-    // runtime knob like jobs/backend — results are identical with the
-    // memo on or off — so it must not move the corpus config
-    // fingerprint, and corpora written with different settings may mix.
-    // The subprocess wire hello carries it out of band.
+    // HarnessConfig::primeCache and ::cycleSkip are deliberately NOT
+    // serialized: they are runtime knobs like jobs/backend — results
+    // are byte-identical with either setting — so they must not move
+    // the corpus config fingerprint, and corpora written with different
+    // settings may mix. The subprocess wire hello carries them out of
+    // band.
     return harness;
 }
 

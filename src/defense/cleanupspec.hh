@@ -54,6 +54,12 @@ class CleanupSpec final : public Defense
     void onSquash(DynInst &inst) override;
     void onReqComplete(const MemReq &req) override;
 
+    /** Event-horizon audit: fully event-driven. The undo log changes
+     *  only in onStoreAddrReady/onSquash/onReqComplete; the timed part
+     *  of rollback (cleanupLatency) lives in the MemSystem's L1D
+     *  controller, whose queue occupancy pins the horizon. */
+    Cycle nextEventCycle(Cycle) const override { return kNoEventCycle; }
+
     const Options &options() const { return opt_; }
 
   private:

@@ -107,10 +107,47 @@ class Defense
     virtual void tick() {}
     /// @}
 
+    /** @name Event horizon (cycle skipping)
+     *  The pipeline may fast-forward over cycles in which no pipeline or
+     *  memory-system state can change, but only as far as the defense
+     *  allows. A defense that is purely event-driven — its state changes
+     *  only inside the hooks above, its tick() is idempotent over
+     *  unchanged pipeline state, and its blocking hooks
+     *  (blockLoadIssue/blockStoreExec/planLoad) are pure queries of that
+     *  state — returns kNoEventCycle ("no self-scheduled work; skip as
+     *  far as you like"). A defense with per-cycle countdowns returns
+     *  the cycle its next countdown expires and implements tickMany() to
+     *  batch-advance them. The base-class default returns `now + 1`,
+     *  which disables skipping entirely: a defense that has not audited
+     *  itself against this contract is conservative by construction. */
+    /// @{
+    /** Earliest future cycle at which this defense can change state on
+     *  its own (kNoEventCycle: never — fully event-driven). */
+    virtual Cycle nextEventCycle(Cycle now) const { return now + 1; }
+    /** Advance per-cycle countdowns by @p cycles elided ticks. Only
+     *  called when the elided window ends strictly before
+     *  nextEventCycle(); defaults to a no-op for event-driven
+     *  defenses. */
+    virtual void tickMany(Cycle cycles) { (void)cycles; }
+    /// @}
+
   protected:
     Pipeline *pipe_ = nullptr;
     MemSystem *mem_ = nullptr;
     EventLog *log_ = nullptr;
+};
+
+/**
+ * The unprotected baseline as a *campaign* defense. Behaviourally the
+ * base class (every hook keeps its insecure default), but audited for
+ * the event-horizon contract: it holds no state at all, so it never
+ * self-schedules work and never limits cycle skipping. The base class
+ * keeps the conservative `now + 1` default for unaudited subclasses.
+ */
+class Baseline final : public Defense
+{
+  public:
+    Cycle nextEventCycle(Cycle) const override { return kNoEventCycle; }
 };
 
 } // namespace amulet::defense

@@ -56,7 +56,7 @@ makeDefense(const DefenseConfig &config, const uarch::CoreParams &params)
 {
     switch (config.kind) {
       case DefenseKind::Baseline:
-        return std::make_unique<Defense>();
+        return std::make_unique<Baseline>();
       case DefenseKind::InvisiSpec:
         return std::make_unique<InvisiSpec>(
             params, config.invisispecBugSpecEviction);

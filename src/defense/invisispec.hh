@@ -49,6 +49,12 @@ class InvisiSpec final : public Defense
     void onSquash(DynInst &inst) override;
     void onReqComplete(const MemReq &req) override;
 
+    /** Event-horizon audit: fully event-driven. The spec buffer and
+     *  ownership map change only in onBecameSafe/onSquash/onReqComplete;
+     *  planLoad never blocks; Exposes ride the L1D controller queue,
+     *  whose occupancy MemSystem::nextEventCycle already pins. */
+    Cycle nextEventCycle(Cycle) const override { return kNoEventCycle; }
+
     const uarch::SideBuffer &specBuffer() const { return buffer_; }
 
   private:

@@ -44,6 +44,12 @@ class SpecLfb final : public Defense
     void onSquash(DynInst &inst) override;
     void onReqComplete(const MemReq &req) override;
 
+    /** Event-horizon audit: fully event-driven. The LFB and held-line
+     *  map change only in onBecameSafe/onSquash/onReqComplete; planLoad
+     *  never blocks (it routes fills, including the UV6 bypass, whose
+     *  log fires on the single access attempt). */
+    Cycle nextEventCycle(Cycle) const override { return kNoEventCycle; }
+
     const uarch::SideBuffer &lfb() const { return lfb_; }
 
   private:

@@ -40,6 +40,14 @@ class Stt final : public Defense
     bool blockStoreExec(DynInst &inst) override;
     void onStoreAddrReady(DynInst &inst) override;
 
+    /** Event-horizon audit: STT holds no countdowns. tick() recomputes
+     *  the taint fixpoint from the ROB's current issued/safe/squashed
+     *  bits — over unchanged pipeline state it reproduces the same
+     *  taints and logs nothing (TaintSet/TaintLift fire on transitions
+     *  only) — and the blocking hooks are pure queries of that fixpoint
+     *  (TransmitBlocked is first-attempt-latched via blockLogged). */
+    Cycle nextEventCycle(Cycle) const override { return kNoEventCycle; }
+
   private:
     bool addrTainted(const DynInst &inst) const;
 

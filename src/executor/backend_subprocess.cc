@@ -173,10 +173,11 @@ SubprocessBackend::spawnWorker()
     hello.set("op", Json::str("hello"));
     hello.set("version", Json::number(std::uint64_t{kProtocolVersion}));
     hello.set("harness", corpus::harnessToJson(cfg_));
-    // Runtime knob, excluded from the serialized harness config (the
-    // corpus fingerprint must not move with it) but the worker's
-    // simulator must still honor the operator's setting.
+    // Runtime knobs, excluded from the serialized harness config (the
+    // corpus fingerprint must not move with them) but the worker's
+    // simulator must still honor the operator's settings.
     hello.set("primeCache", Json::boolean(cfg_.primeCache));
+    hello.set("cycleSkip", Json::boolean(cfg_.cycleSkip));
     must(hello, "hello");
 
     if (!programText_.empty()) {

@@ -147,6 +147,7 @@ SimHarness::start()
     defense_ = defense::makeDefense(cfg_.defense, cfg_.core);
     pipe_ = std::make_unique<uarch::Pipeline>(cfg_.core, *memory_, log_);
     pipe_->setDefense(defense_.get());
+    pipe_->setCycleSkip(cfg_.cycleSkip);
 
     // SE-mode boot: run the boot stream through the full pipeline.
     std::array<RegVal, isa::kNumRegs> regs{};
@@ -267,6 +268,19 @@ SimHarness::runInput(const arch::Input &input)
     assert(prog_ && "no test program loaded");
     const auto t_input = Clock::now();
 
+#ifndef NDEBUG
+    // Pre-run capture for the cycle-skip replay audit at the bottom:
+    // predictor context and the event-log high-water mark, taken before
+    // any per-input state changes so the replay covers the whole input.
+    const bool auditThisInput = cfg_.cycleSkip && ++skipAudits_ % 32 == 0;
+    std::optional<UarchContext> auditCtx;
+    std::size_t logMark = 0;
+    if (auditThisInput) {
+        auditCtx = saveContext();
+        logMark = log_.events().size();
+    }
+#endif
+
     // Input-switch cost is accounted separately (TimeBreakdown::
     // primeSec): it is what the prime cache optimizes, and folding it
     // into simulateSec — as earlier revisions did — hid the priming
@@ -314,11 +328,66 @@ SimHarness::runInput(const arch::Input &input)
     }
     times_.simulateSec += secondsSince(t0);
 
+    // Drain per-run cycle-skip statistics into the sink (reset by the
+    // next run()). Drained before the debug replay below clobbers them.
+    if (skippedCycles_)
+        skippedCycles_->add(pipe_->skippedCycles());
+    if (skipWindows_)
+        skipWindows_->add(pipe_->skipWindows());
+    if (skipCycles_) {
+        for (Cycle len : pipe_->skipLengths())
+            skipCycles_->observe(static_cast<double>(len));
+    }
+
     const auto t1 = Clock::now();
     out.trace = extractTrace(*pipe_, cfg_.traceFormat);
     times_.traceExtractSec += secondsSince(t1);
     if (inputLatency_)
         inputLatency_->observe(secondsSince(t_input));
+
+#ifndef NDEBUG
+    // Cycle-skip equivalence audit: periodically replay the whole input
+    // — reset, priming, and run — with skipping off and assert the
+    // results-invariance contract (identical RunResult, trace, and
+    // debug-event stream). Debug builds only; a failure means a new
+    // stage or defense changed state during a window the event-horizon
+    // analysis considered quiescent (src/uarch/README.md).
+    if (auditThisInput) {
+        const std::vector<Event> real_events(
+            log_.events().begin() + static_cast<std::ptrdiff_t>(logMark),
+            log_.events().end());
+        const std::size_t dropped_mark = log_.dropped();
+        log_.truncate(logMark);
+        pipe_->setCycleSkip(false);
+        restoreContext(*auditCtx);
+        resetBetweenInputs();
+        if (!input.sandbox.empty()) {
+            memory_->writeBytes(cfg_.map.sandboxBase,
+                                input.sandbox.data(),
+                                input.sandbox.size());
+        }
+        pipe_->setProgram(prog_);
+        pipe_->setArchRegs(regs, isa::Flags::unpack(input.flagsByte));
+        const uarch::RunResult ref = pipe_->run();
+        assert(ref == out.run &&
+               "cycle skipping changed the run outcome");
+        const UTrace ref_trace = extractTrace(*pipe_, cfg_.traceFormat);
+        assert(ref_trace == out.trace &&
+               "cycle skipping changed the uarch trace");
+        // Event streams must match too (capacity drops shift indices;
+        // compare only when none occurred). The reference events now in
+        // the log equal the originals, so no rewind is needed.
+        if (log_.dropped() == dropped_mark) {
+            const std::vector<Event> ref_events(
+                log_.events().begin() +
+                    static_cast<std::ptrdiff_t>(logMark),
+                log_.events().end());
+            assert(ref_events == real_events &&
+                   "cycle skipping changed the debug-event stream");
+        }
+        pipe_->setCycleSkip(true);
+    }
+#endif
     return out;
 }
 
@@ -333,6 +402,12 @@ SimHarness::setTelemetry(telemetry::TelemetrySink *sink)
 {
     inputLatency_ =
         sink ? &sink->metrics().histogram("sim.inputLatencySec") : nullptr;
+    skippedCycles_ =
+        sink ? &sink->metrics().counter("sim.skippedCycles") : nullptr;
+    skipWindows_ =
+        sink ? &sink->metrics().counter("sim.skipWindows") : nullptr;
+    skipCycles_ =
+        sink ? &sink->metrics().histogram("sim.skipCycles") : nullptr;
 }
 
 SimHarness::BatchOutput

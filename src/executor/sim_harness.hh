@@ -39,6 +39,7 @@
 
 namespace amulet::telemetry
 {
+class Counter;
 class Histogram;
 class TelemetrySink;
 class UarchTracer;
@@ -140,6 +141,21 @@ struct HarnessConfig
      * drifted.
      */
     bool primeCache = true;
+
+    /**
+     * Event-horizon cycle skipping (Pipeline::setCycleSkip): quiescent
+     * simulator cycles — no pipeline, memory-system, or defense state
+     * can change before the next scheduled event — are elided by
+     * fast-forwarding the cycle counter to that event.
+     *
+     * Runtime knob like primeCache: excluded from the corpus config
+     * fingerprint because results are byte-identical either way —
+     * committed-instruction cycles, EventLog timestamps, traces, and
+     * verdicts match for every (jobs, backend, cycleSkip) triple
+     * (tests/test_cycle_skip.cc). Debug builds periodically replay an
+     * input with skipping off and assert identical results.
+     */
+    bool cycleSkip = true;
 };
 
 /** The executor. */
@@ -267,6 +283,16 @@ class SimHarness
      *  telemetry). Cached so runInput records with one pointer check
      *  instead of a registry lookup. */
     telemetry::Histogram *inputLatency_ = nullptr;
+
+    /** Cycle-skip telemetry (null: no sink): cycles elided, skip
+     *  windows, and the per-window skip-length distribution. */
+    telemetry::Counter *skippedCycles_ = nullptr;
+    telemetry::Counter *skipWindows_ = nullptr;
+    telemetry::Histogram *skipCycles_ = nullptr;
+
+#ifndef NDEBUG
+    unsigned skipAudits_ = 0; ///< drives the debug replay audit cadence
+#endif
 
     /** Pipeline tracer (null: off) + per-program disassembly table,
      *  rebuilt lazily when the loaded program changes. */

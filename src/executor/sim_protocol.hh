@@ -8,7 +8,7 @@
  * Each request line gets exactly one reply line ({"ok":true,...} or
  * {"ok":false,"error":...}). Operations:
  *
- *   hello    {harness, primeCache}     -> {}
+ *   hello    {harness, primeCache, cycleSkip} -> {}
  *   load     {program}                 -> {}
  *   save     {}                        -> {ctx}
  *   restore  {ctx}                     -> {}
@@ -49,12 +49,16 @@ using corpus::Json;
  *  "utrace", the serialized per-instruction pipeline trace of the run
  *  (uarchRunTraceToJson). Purely additive for the result path — traced
  *  and untraced runs are state-identical.
+ *  v4: hello also carries the cycleSkip runtime knob (fingerprint-
+ *  excluded like primeCache; results are byte-identical either way,
+ *  the knob only decides whether the worker's simulator fast-forwards
+ *  quiescent cycles).
  *
  *  CampaignConfig::ctraceMemo (the other fingerprint-excluded runtime
  *  knob of its kind) never crosses the wire at all: contract traces
  *  are collected parent-side in CTraceStage, and the worker only ever
  *  sees the simulator half of the pipeline. */
-inline constexpr unsigned kProtocolVersion = 3;
+inline constexpr unsigned kProtocolVersion = 4;
 
 /** @name Shared field encodings */
 /// @{

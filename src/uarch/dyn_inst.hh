@@ -54,6 +54,9 @@ struct DynInst
     std::size_t actualNextIdx = 0; ///< resolved successor
     /// @}
 
+    /** "Producer not in flight" sentinel for scoreboard slot links. */
+    static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+
     /** @name Renamed sources (producer kNoSeq/0 = committed state) */
     /// @{
     struct SrcReg
@@ -62,6 +65,12 @@ struct DynInst
         SeqNum producer;
         bool forAddress; ///< feeds effective-address computation
         bool forData;    ///< feeds the data computation / store value
+        /** ROB physical slot of the producer at rename time (kNoSlot:
+         *  committed state). Slots are stable handles (the ROB ring is
+         *  reserved to robSize, so it never regrows mid-run): resolving
+         *  (producerSlot, producer) is an O(1) fetch + seq check instead
+         *  of a binary search. */
+        std::uint32_t producerSlot = kNoSlot;
     };
 
     /** Distinct source registers an instruction can name: memory base,
@@ -97,7 +106,21 @@ struct DynInst
     };
     SrcList srcs;
     SeqNum flagsProducer = kNoSeq;
+    std::uint32_t flagsProducerSlot = kNoSlot;
     bool needsFlags = false;
+
+    /** @name Wakeup scoreboard (maintained by the pipeline)
+     *  Unexecuted in-flight producers still owed, counted at rename and
+     *  decremented by the execute-stage broadcast. Flags fold into the
+     *  data count (only full readiness consults them), so
+     *  srcsReady(address_only) is a single zero test per flavour. */
+    /// @{
+    std::uint8_t pendingAddrSrcs = 0;
+    std::uint8_t pendingDataSrcs = 0;
+    /** Own ROB physical slot (set at fetch); the broadcast walks the
+     *  ROB suffix younger than the producer starting here. */
+    std::uint32_t robSlot = kNoSlot;
+    /// @}
     /// @}
 
     /** @name Execution state */

@@ -328,6 +328,28 @@ MemSystem::tick(Cycle now)
     processIfetch(now);
 }
 
+Cycle
+MemSystem::nextEventCycle(Cycle now) const
+{
+    // A non-empty controller queue is processed head-of-line every
+    // cycle: the head can dequeue, coalesce, allocate an MSHR as one
+    // frees up, advance a Cleanup countdown, or log a per-cycle
+    // MshrStall/ExposeStall. None of that is skippable.
+    if (!l1dQueue_.empty() || !ifetchQueue_.empty())
+        return now + 1;
+
+    Cycle next = kNoEventCycle;
+    for (const Mshr &m : l1dMshrs_)
+        next = std::min(next, m.fillAt);
+    for (const Mshr &m : l1iMshrs_)
+        next = std::min(next, m.fillAt);
+    for (const PendingCompletion &c : hitCompletions_)
+        next = std::min(next, c.at);
+    // A fill scheduled in the past (tick not yet run this cycle) still
+    // needs the very next tick.
+    return next == kNoEventCycle ? kNoEventCycle : std::max(next, now + 1);
+}
+
 bool
 MemSystem::idle() const
 {

@@ -163,6 +163,20 @@ class MemSystem
      */
     void tick(Cycle now);
 
+    /**
+     * Earliest cycle > @p now at which tick() can change any state or
+     * emit any event (kNoEventCycle: fully idle). While either
+     * controller queue is non-empty this is pinned to `now + 1` — the
+     * head is processed (or logs its MshrStall/ExposeStall) every
+     * cycle, so no cycle may be elided. With empty queues the only
+     * time-gated work left is MSHR fills and pending hit completions,
+     * whose scheduled cycles are exact. This is the memory system's
+     * contribution to the pipeline's event-horizon computation; it must
+     * stay complete (every time-gated wakeup enumerated) for cycle
+     * skipping to be sound.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
     /** Pending work? (for tests/draining) */
     bool idle() const;
 

@@ -67,8 +67,13 @@ Pipeline::Pipeline(const CoreParams &params, mem::MemoryImage &memory,
 
     // Pre-size the run-state containers once; reset() clears them
     // without releasing storage, so the cycle loop runs allocation-free
-    // from the second input on.
+    // from the second input on. The ROB reservation is load-bearing for
+    // the scoreboard: fetch bounds its size to robSize, so the ring
+    // never regrows mid-run and physical slots are stable handles.
     rob_.reserve(params.robSize);
+    issueReady_.reserve(params.robSize);
+    execList_.reserve(params.robSize);
+    skipLengths_.reserve(256);
     accessOrder_.reserve(1024);
     branchPredOrder_.reserve(256);
 }
@@ -105,6 +110,14 @@ Pipeline::reset()
     fetchStalledOnL1i_ = false;
     renameReg_.fill(kNoSeq);
     renameFlags_ = kNoSeq;
+    renameRegSlot_.fill(DynInst::kNoSlot);
+    renameFlagsSlot_ = DynInst::kNoSlot;
+    issueReady_.clear();
+    execList_.clear();
+    fencesInFlight_ = 0;
+    skippedCycles_ = 0;
+    skipWindows_ = 0;
+    skipLengths_.clear();
     now_ = 0;
     halted_ = false;
     committedInsts_ = 0;
@@ -117,8 +130,8 @@ Pipeline::reset()
     defense_->reset();
 }
 
-DynInst *
-Pipeline::entry(SeqNum seq)
+const DynInst *
+Pipeline::entry(SeqNum seq) const
 {
     if (seq == kNoSeq || rob_.empty())
         return nullptr;
@@ -131,6 +144,13 @@ Pipeline::entry(SeqNum seq)
     if (it == rob_.end() || it->seq != seq)
         return nullptr;
     return &*it;
+}
+
+DynInst *
+Pipeline::entry(SeqNum seq)
+{
+    return const_cast<DynInst *>(
+        static_cast<const Pipeline *>(this)->entry(seq));
 }
 
 bool
@@ -148,50 +168,117 @@ Pipeline::olderUnsafeLoadExists(SeqNum seq) const
 std::uint64_t
 Pipeline::readSrcValue(const DynInst::SrcReg &src) const
 {
-    if (src.producer != kNoSeq) {
-        const DynInst *producer =
-            const_cast<Pipeline *>(this)->entry(src.producer);
-        if (producer) {
-            assert(producer->executed && "reading an unfinished producer");
-            // Loopne's register side-effect lives in `result`.
-            return producer->result;
-        }
+    if (const DynInst *producer = producerOf(src)) {
+        assert(producer->executed && "reading an unfinished producer");
+        // Loopne's register side-effect lives in `result`.
+        return producer->result;
     }
     return committedRegs_[isa::regIndex(src.reg)];
 }
 
 isa::Flags
-Pipeline::readFlagsValue(SeqNum producer) const
+Pipeline::readFlagsValue(const DynInst &inst) const
 {
-    if (producer != kNoSeq) {
-        const DynInst *p = const_cast<Pipeline *>(this)->entry(producer);
-        if (p) {
-            assert(p->executed);
-            return p->flagsOut;
-        }
+    if (const DynInst *p = flagsProducerOf(inst)) {
+        assert(p->executed);
+        return p->flagsOut;
     }
     return committedFlags_;
 }
 
 bool
-Pipeline::srcsReady(const DynInst &inst, bool address_only) const
+Pipeline::srcsReadyScan(const DynInst &inst, bool address_only) const
 {
-    auto producer_done = [this](SeqNum producer) {
-        if (producer == kNoSeq)
-            return true;
-        const DynInst *p = const_cast<Pipeline *>(this)->entry(producer);
-        return !p || p->executed;
-    };
+    // Reference implementation (the pre-scoreboard per-source walk);
+    // kept as the debug cross-check for the pending counters.
     for (const auto &src : inst.srcs) {
         const bool relevant = address_only ? src.forAddress : src.forData;
-        if (relevant && !producer_done(src.producer))
+        if (!relevant)
+            continue;
+        const DynInst *p = producerOf(src);
+        if (p && !p->executed)
             return false;
     }
-    if (!address_only && inst.needsFlags &&
-        !producer_done(inst.flagsProducer)) {
-        return false;
+    if (!address_only && inst.needsFlags) {
+        const DynInst *p = flagsProducerOf(inst);
+        if (p && !p->executed)
+            return false;
     }
     return true;
+}
+
+bool
+Pipeline::srcsReady(const DynInst &inst, bool address_only) const
+{
+    const bool ready = address_only ? inst.pendingAddrSrcs == 0
+                                    : inst.pendingDataSrcs == 0;
+    assert(ready == srcsReadyScan(inst, address_only) &&
+           "scoreboard counter out of sync with producer state");
+    return ready;
+}
+
+DynInst *
+Pipeline::liveAt(const SlotRef &ref)
+{
+    DynInst *e = rob_.atSlot(ref.slot);
+    return e && e->seq == ref.seq ? e : nullptr;
+}
+
+void
+Pipeline::insertBySeq(std::vector<SlotRef> &list, std::uint32_t slot,
+                      SeqNum seq)
+{
+    // Lists must stay seq-sorted so the walks preserve the legacy
+    // oldest-first order (same-cycle branch resolution order decides
+    // which squash wins). Insertions are near-append (fetch and issue
+    // proceed in seq order), so the shift is almost always empty.
+    auto it = std::lower_bound(list.begin(), list.end(), seq,
+                               [](const SlotRef &r, SeqNum s) {
+                                   return r.seq < s;
+                               });
+    list.insert(it, SlotRef{slot, seq});
+}
+
+void
+Pipeline::broadcastExecuted(const DynInst &producer)
+{
+    progress_ = true;
+    // Consumers are strictly younger (rename order), so start just past
+    // the producer's own slot. Squashes remove consumer and producer
+    // suffixes together, so surviving counters are never over-credited.
+    for (std::size_t i = rob_.logicalOf(producer.robSlot) + 1;
+         i < rob_.size(); ++i) {
+        DynInst &c = rob_[i];
+        bool addr_zeroed = false;
+        bool data_zeroed = false;
+        for (const auto &src : c.srcs) {
+            if (src.producer != producer.seq)
+                continue;
+            if (src.forAddress) {
+                assert(c.pendingAddrSrcs > 0);
+                if (--c.pendingAddrSrcs == 0)
+                    addr_zeroed = true;
+            }
+            if (src.forData) {
+                assert(c.pendingDataSrcs > 0);
+                if (--c.pendingDataSrcs == 0)
+                    data_zeroed = true;
+            }
+        }
+        if (c.needsFlags && c.flagsProducer == producer.seq) {
+            assert(c.pendingDataSrcs > 0);
+            if (--c.pendingDataSrcs == 0)
+                data_zeroed = true;
+        }
+        if (c.issued)
+            continue;
+        // At most one wakeup per entry: the counter just hit zero, and
+        // fetch only pre-inserts entries born with a zero count.
+        const bool wake = (c.isLoad || c.isStore) ? addr_zeroed
+                                                  : data_zeroed;
+        if (wake && c.si.op != Op::Fence)
+            insertBySeq(issueReady_, c.robSlot, c.seq);
+    }
 }
 
 Addr
@@ -237,8 +324,8 @@ Pipeline::makeDynInst(std::size_t idx)
                 return;
             }
         }
-        d.srcs.push_back(
-            {reg, renameReg_[isa::regIndex(reg)], for_addr, for_data});
+        d.srcs.push_back({reg, renameReg_[isa::regIndex(reg)], for_addr,
+                          for_data, renameRegSlot_[isa::regIndex(reg)]});
     };
 
     const Inst &si = d.si;
@@ -261,8 +348,33 @@ Pipeline::makeDynInst(std::size_t idx)
 
     d.needsFlags = si.readsFlags();
     d.flagsProducer = renameFlags_;
+    d.flagsProducerSlot = renameFlagsSlot_;
 
-    // Rename destinations after capturing sources.
+    // Scoreboard counters: one credit per still-unexecuted in-flight
+    // producer; the execute-stage broadcast pays them back. A rename
+    // entry != kNoSeq always names a live ROB entry (commit/squash
+    // maintain the table), so the slot link resolves exactly.
+    for (const auto &src : d.srcs) {
+        if (src.producer == kNoSeq)
+            continue;
+        const DynInst *p = rob_.atSlot(src.producerSlot);
+        assert(p && p->seq == src.producer);
+        if (!p->executed) {
+            if (src.forAddress)
+                ++d.pendingAddrSrcs;
+            if (src.forData)
+                ++d.pendingDataSrcs;
+        }
+    }
+    if (d.needsFlags && d.flagsProducer != kNoSeq) {
+        const DynInst *p = rob_.atSlot(d.flagsProducerSlot);
+        assert(p && p->seq == d.flagsProducer);
+        if (!p->executed)
+            ++d.pendingDataSrcs;
+    }
+
+    // Rename destinations after capturing sources (the slot half of the
+    // table follows in fetchStage once the entry has its ROB slot).
     for (isa::Reg r : si.regsWritten())
         renameReg_[isa::regIndex(r)] = d.seq;
     if (si.writesFlags())
@@ -276,11 +388,17 @@ Pipeline::rebuildRenameTable()
 {
     renameReg_.fill(kNoSeq);
     renameFlags_ = kNoSeq;
+    renameRegSlot_.fill(DynInst::kNoSlot);
+    renameFlagsSlot_ = DynInst::kNoSlot;
     for (const DynInst &e : rob_) {
-        for (isa::Reg r : e.si.regsWritten())
+        for (isa::Reg r : e.si.regsWritten()) {
             renameReg_[isa::regIndex(r)] = e.seq;
-        if (e.si.writesFlags())
+            renameRegSlot_[isa::regIndex(r)] = e.robSlot;
+        }
+        if (e.si.writesFlags()) {
             renameFlags_ = e.seq;
+            renameFlagsSlot_ = e.robSlot;
+        }
     }
 }
 
@@ -301,6 +419,8 @@ Pipeline::squashAfter(SeqNum keep_up_to, std::size_t new_fetch_idx,
             --loadsInFlight_;
         if (victim.isStore)
             --storesInFlight_;
+        if (victim.si.op == Op::Fence)
+            --fencesInFlight_;
         defense_->onSquash(victim);
         if (tracer_)
             tracer_->onSquash(victim, now_, cause, trigger_seq);
@@ -308,6 +428,7 @@ Pipeline::squashAfter(SeqNum keep_up_to, std::size_t new_fetch_idx,
     }
     log_.record(now_, reason, trigger_seq);
     ++squashes_;
+    progress_ = true;
     fetchIdx_ = new_fetch_idx;
     fetchStalledOnL1i_ = false;
     bp_.restoreGhr(restore_ghr);
@@ -332,6 +453,8 @@ Pipeline::computeSafety()
         if (mode == SpecMode::Futuristic && e.isStore && !e.addrReady)
             risk = true;
     }
+    if (!newly_safe.empty())
+        progress_ = true;
     for (SeqNum seq : newly_safe) {
         if (DynInst *e = entry(seq))
             defense_->onBecameSafe(*e);
@@ -349,7 +472,7 @@ Pipeline::resolveBranch(DynInst &e)
         next_idx = prog_->targetIdx(e.idx);
         break;
       case Op::Jcc:
-        taken = condEval(e.si.cond, readFlagsValue(e.flagsProducer));
+        taken = condEval(e.si.cond, readFlagsValue(e));
         if (taken)
             next_idx = prog_->targetIdx(e.idx);
         break;
@@ -362,7 +485,7 @@ Pipeline::resolveBranch(DynInst &e)
         rcx -= 1;
         e.result = rcx;
         e.resultValid = true;
-        const isa::Flags f = readFlagsValue(e.flagsProducer);
+        const isa::Flags f = readFlagsValue(e);
         taken = rcx != 0 && !f.zf;
         if (taken)
             next_idx = prog_->targetIdx(e.idx);
@@ -385,6 +508,9 @@ Pipeline::resolveBranch(DynInst &e)
         if (e.si.isCondBranch())
             bp_.updateGhrSpeculative(taken);
     }
+    // After the squash: a mispredict leaves no younger suffix, making
+    // the broadcast a cheap no-op walk.
+    broadcastExecuted(e);
 }
 
 void
@@ -429,9 +555,8 @@ Pipeline::finalizeData(DynInst &e)
 
     // Only flag-reading ops (CMOV/SETcc) may touch the producer; for
     // everything else it can still be in flight.
-    const isa::Flags flags_in = e.needsFlags
-                                    ? readFlagsValue(e.flagsProducer)
-                                    : isa::Flags{};
+    const isa::Flags flags_in = e.needsFlags ? readFlagsValue(e)
+                                             : isa::Flags{};
     const isa::ExecResult res = isa::evalOp(si, dst_old, src, addr,
                                             flags_in);
     e.flagsOut = res.flags;
@@ -449,6 +574,7 @@ Pipeline::finalizeData(DynInst &e)
     e.execCycle = now_;
     if (tracer_)
         tracer_->onComplete(e, now_);
+    broadcastExecuted(e);
 }
 
 void
@@ -521,6 +647,7 @@ Pipeline::tryStartLoadAccess(DynInst &e)
         e.forwardedFromStore = true;
         e.forwardingStore = forward_from->seq;
         e.loadPhase = LoadPhase::Done;
+        progress_ = true;
         return;
     }
 
@@ -557,6 +684,7 @@ Pipeline::tryStartLoadAccess(DynInst &e)
     if (e.split)
         enqueue_line(line_b);
     e.loadPhase = LoadPhase::WaitCache;
+    progress_ = true;
     log_.record(now_, EventKind::LoadExec, e.seq, e.pc, e.memAddr);
     if (bypassed_unknown)
         log_.record(now_, EventKind::LoadBypassedStore, e.seq, e.pc,
@@ -578,6 +706,7 @@ Pipeline::advanceMemOps()
             e.tlbPending = false;
             e.addrReady = true;
             e.storeTlbDone = true;
+            progress_ = true;
             storeResolved(e);
         }
 
@@ -592,14 +721,92 @@ Pipeline::advanceMemOps()
                 storeResolved(e);
             }
             e.loadPhase = LoadPhase::WaitStore;
+            progress_ = true;
         }
         if (e.loadPhase == LoadPhase::WaitStore)
             tryStartLoadAccess(e);
     }
 }
 
+bool
+Pipeline::tryIssue(DynInst &e)
+{
+    assert(!e.issued && e.si.op != Op::Fence);
+    if (e.isLoad || e.isStore) {
+        if (!srcsReady(e, true))
+            return false;
+        if (e.isLoad && defense_->blockLoadIssue(e))
+            return false;
+        if (e.isStore && !e.isLoad && defense_->blockStoreExec(e))
+            return false;
+        e.issued = true;
+        e.issueCycle = now_;
+        e.wasUnsafeAtIssue = !e.safe;
+        e.memAddr = computeEffAddr(e);
+        accessOrder_.push_back(
+            {e.pc, e.memAddr, e.isStore && !e.isLoad, e.seq, now_});
+        if (tracer_)
+            tracer_->onIssue(e, now_);
+        const unsigned lat =
+            mem_.dtlbAccess(e.memAddr, e.memSize, e.seq, e.pc);
+        e.tlbPending = true;
+        e.tlbDoneCycle = now_ + lat;
+        if (e.isLoad)
+            e.loadPhase = LoadPhase::WaitTlb;
+    } else {
+        if (!srcsReady(e, false))
+            return false;
+        e.issued = true;
+        e.issueCycle = now_;
+        unsigned lat = params_.aluLatency;
+        if (e.si.op == Op::Imul)
+            lat = params_.mulLatency;
+        if (e.isBranch())
+            lat = params_.branchLatency;
+        if (e.si.op == Op::Halt || e.si.op == Op::Nop)
+            lat = 1;
+        e.doneCycle = now_ + lat;
+        if (tracer_)
+            tracer_->onIssue(e, now_);
+    }
+    insertBySeq(execList_, e.robSlot, e.seq);
+    progress_ = true;
+    return true;
+}
+
 void
 Pipeline::issueStage()
+{
+    if (fencesInFlight_ > 0) {
+        // The fence barrier needs cumulative all-older-executed state:
+        // fall back to the legacy in-order scan until it drains.
+        issueStageWithFences();
+        return;
+    }
+
+    unsigned budget = params_.issueWidth;
+    std::size_t out = 0;
+    std::size_t i = 0;
+    for (; i < issueReady_.size(); ++i) {
+        if (budget == 0)
+            break;
+        DynInst *e = liveAt(issueReady_[i]);
+        if (!e || e->issued)
+            continue; // stale handle (squash/commit) or fence-path issue
+        if (tryIssue(*e)) {
+            --budget;
+            continue;
+        }
+        // Defense veto (the counters say ready): keep it for retry.
+        issueReady_[out++] = issueReady_[i];
+    }
+    for (; i < issueReady_.size(); ++i)
+        issueReady_[out++] = issueReady_[i];
+    issueReady_.resize(out);
+}
+
+void
+Pipeline::issueStageWithFences()
 {
     unsigned budget = params_.issueWidth;
     bool all_older_executed = true;
@@ -614,57 +821,16 @@ Pipeline::issueStage()
                 --budget;
                 if (tracer_)
                     tracer_->onIssue(e, now_);
+                insertBySeq(execList_, e.robSlot, e.seq);
+                progress_ = true;
             }
             if (!e.executed)
                 break; // younger instructions wait for the fence
         }
 
-        if (!e.issued) {
-            if (e.isLoad || e.isStore) {
-                if (srcsReady(e, true)) {
-                    bool blocked = false;
-                    if (e.isLoad && defense_->blockLoadIssue(e))
-                        blocked = true;
-                    if (!blocked && e.isStore && !e.isLoad &&
-                        defense_->blockStoreExec(e)) {
-                        blocked = true;
-                    }
-                    if (!blocked) {
-                        e.issued = true;
-                        e.issueCycle = now_;
-                        e.wasUnsafeAtIssue = !e.safe;
-                        e.memAddr = computeEffAddr(e);
-                        accessOrder_.push_back({e.pc, e.memAddr,
-                                                e.isStore && !e.isLoad,
-                                                e.seq, now_});
-                        if (tracer_)
-                            tracer_->onIssue(e, now_);
-                        const unsigned lat = mem_.dtlbAccess(
-                            e.memAddr, e.memSize, e.seq, e.pc);
-                        e.tlbPending = true;
-                        e.tlbDoneCycle = now_ + lat;
-                        if (e.isLoad)
-                            e.loadPhase = LoadPhase::WaitTlb;
-                        --budget;
-                    }
-                }
-            } else if (e.si.op != Op::Fence) {
-                if (srcsReady(e, false)) {
-                    e.issued = true;
-                    e.issueCycle = now_;
-                    unsigned lat = params_.aluLatency;
-                    if (e.si.op == Op::Imul)
-                        lat = params_.mulLatency;
-                    if (e.isBranch())
-                        lat = params_.branchLatency;
-                    if (e.si.op == Op::Halt || e.si.op == Op::Nop)
-                        lat = 1;
-                    e.doneCycle = now_ + lat;
-                    --budget;
-                    if (tracer_)
-                        tracer_->onIssue(e, now_);
-                }
-            }
+        if (!e.issued && e.si.op != Op::Fence) {
+            if (tryIssue(e))
+                --budget;
         }
         all_older_executed = all_older_executed && e.executed;
     }
@@ -673,40 +839,44 @@ Pipeline::issueStage()
 void
 Pipeline::executeStage()
 {
-    for (std::size_t i = 0; i < rob_.size(); ++i) {
-        DynInst &e = rob_[i];
-        if (e.squashed || e.executed || !e.issued)
+    // Walk only issued-not-yet-executed entries, oldest first (the list
+    // is seq-sorted, preserving the legacy resolution order). Entries
+    // stay listed until they execute; stale handles compact away.
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < execList_.size(); ++i) {
+        DynInst *pe = liveAt(execList_[i]);
+        if (!pe || pe->squashed || pe->executed)
             continue;
+        DynInst &e = *pe;
 
         if (!e.isLoad && !e.isStore) {
-            if (now_ < e.doneCycle)
-                continue;
-            if (e.isBranch()) {
-                resolveBranch(e);
-                continue;
+            if (now_ >= e.doneCycle) {
+                if (e.isBranch()) {
+                    resolveBranch(e);
+                } else if (e.si.op == Op::Nop || e.si.op == Op::Halt ||
+                           e.si.op == Op::Fence) {
+                    e.executed = true;
+                    e.execCycle = now_;
+                    if (tracer_)
+                        tracer_->onComplete(e, now_);
+                    broadcastExecuted(e);
+                } else {
+                    finalizeData(e);
+                }
             }
-            if (e.si.op == Op::Nop || e.si.op == Op::Halt ||
-                e.si.op == Op::Fence) {
-                e.executed = true;
-                e.execCycle = now_;
-                if (tracer_)
-                    tracer_->onComplete(e, now_);
-                continue;
-            }
-            finalizeData(e);
-            continue;
-        }
-
-        if (e.isLoad) {
+        } else if (e.isLoad) {
             if (e.loadPhase == LoadPhase::Done && srcsReady(e, false))
                 finalizeData(e);
-            continue;
+        } else {
+            // Plain store: needs address and data.
+            if (e.addrReady && srcsReady(e, false))
+                finalizeData(e);
         }
 
-        // Plain store: needs address and data.
-        if (e.addrReady && srcsReady(e, false))
-            finalizeData(e);
+        if (!e.executed)
+            execList_[out++] = execList_[i];
     }
+    execList_.resize(out);
 }
 
 void
@@ -762,11 +932,17 @@ Pipeline::commitStage()
             committedFlags_ = e.flagsOut;
 
         for (isa::Reg r : e.si.regsWritten()) {
-            if (renameReg_[isa::regIndex(r)] == e.seq)
+            if (renameReg_[isa::regIndex(r)] == e.seq) {
                 renameReg_[isa::regIndex(r)] = kNoSeq;
+                renameRegSlot_[isa::regIndex(r)] = DynInst::kNoSlot;
+            }
         }
-        if (renameFlags_ == e.seq)
+        if (renameFlags_ == e.seq) {
             renameFlags_ = kNoSeq;
+            renameFlagsSlot_ = DynInst::kNoSlot;
+        }
+        if (e.si.op == Op::Fence)
+            --fencesInFlight_;
 
         e.committed = true;
         e.commitCycle = now_;
@@ -781,6 +957,7 @@ Pipeline::commitStage()
 
         const bool is_halt = e.si.op == Op::Halt;
         rob_.pop_front();
+        progress_ = true;
         if (is_halt) {
             halted_ = true;
             break;
@@ -836,6 +1013,23 @@ Pipeline::fetchStage()
             tracer_->onFetch(d, now_);
         fetchIdx_ = d.predNextIdx;
         rob_.push_back(std::move(d));
+
+        // Fix up the slot-addressed structures now that the entry has
+        // its physical ROB slot.
+        DynInst &f = rob_.back();
+        f.robSlot =
+            static_cast<std::uint32_t>(rob_.slotIndex(rob_.size() - 1));
+        for (isa::Reg r : f.si.regsWritten())
+            renameRegSlot_[isa::regIndex(r)] = f.robSlot;
+        if (f.si.writesFlags())
+            renameFlagsSlot_ = f.robSlot;
+        if (f.si.op == Op::Fence)
+            ++fencesInFlight_;
+        else if ((f.isLoad || f.isStore) ? f.pendingAddrSrcs == 0
+                                         : f.pendingDataSrcs == 0)
+            insertBySeq(issueReady_, f.robSlot, f.seq);
+        progress_ = true;
+
         if (taken_branch)
             return; // redirect: resume at the target next cycle
     }
@@ -844,6 +1038,7 @@ Pipeline::fetchStage()
 void
 Pipeline::onMemReqComplete(const MemReq &req)
 {
+    progress_ = true;
     if (req.kind == ReqKind::Load) {
         DynInst *e = entry(req.seq);
         if (e && !e->squashed && e->loadPhase == LoadPhase::WaitCache &&
@@ -857,6 +1052,115 @@ Pipeline::onMemReqComplete(const MemReq &req)
     defense_->onReqComplete(req);
 }
 
+Cycle
+Pipeline::nextLocalEventCycle() const
+{
+    // Self-sufficient quiescence analysis: re-derive from state alone
+    // the earliest cycle at which any stage could act. Anything
+    // actionable *next* cycle pins the horizon to now_ + 1; otherwise
+    // the only time-gated wakeups are doneCycle / tlbDoneCycle fills.
+    // Conservative by construction — returning too-early cycles only
+    // shrinks skips; the soundness argument is in src/uarch/README.md.
+    const Cycle next_cycle = now_ + 1;
+    Cycle next = kNoEventCycle;
+
+    // One-step safety lookahead, fused with the per-entry scan: replay
+    // computeSafety's risk walk so a pending safe-transition (which
+    // fires defense hooks) pins the horizon. `risk` must be updated
+    // *after* checking e (an entry's own risk does not taint itself).
+    bool risk = false;
+    for (const DynInst &e : rob_) {
+        if (!e.safe && !risk)
+            return next_cycle; // will become safe next computeSafety
+        if (e.isBranch() && !e.executed)
+            risk = true;
+        if (e.si.op == Op::Fence && !e.executed)
+            risk = true;
+        if (defense_->specMode() == SpecMode::Futuristic && e.isStore &&
+            !e.addrReady) {
+            risk = true;
+        }
+
+        if (!e.issued) {
+            if (e.si.op == Op::Fence)
+                return next_cycle; // barrier state can change any cycle
+            const bool ready = (e.isLoad || e.isStore)
+                                   ? e.pendingAddrSrcs == 0
+                                   : e.pendingDataSrcs == 0;
+            if (ready)
+                return next_cycle; // issueStage retries every cycle
+            continue;
+        }
+        if (e.executed)
+            continue;
+
+        if (e.tlbPending) {
+            next = std::min(next, std::max(e.tlbDoneCycle, next_cycle));
+            continue;
+        }
+        if (e.isLoad) {
+            if (e.loadPhase == LoadPhase::WaitStore)
+                return next_cycle; // advanceMemOps retries every cycle
+            if (e.loadPhase == LoadPhase::Done && e.pendingDataSrcs == 0)
+                return next_cycle; // executeStage can finalize
+            continue;              // WaitCache: MemSystem owns the wakeup
+        }
+        if (e.isStore) {
+            if (e.addrReady && e.pendingDataSrcs == 0)
+                return next_cycle; // executeStage can finalize
+            continue;
+        }
+        // Fixed-latency ALU op.
+        next = std::min(next, std::max(e.doneCycle, next_cycle));
+    }
+
+    // Commit: the head being executed means commitStage acts next cycle.
+    if (!rob_.empty() && rob_.front().executed)
+        return next_cycle;
+
+    // Fetch: can a new instruction enter next cycle? Probe the same
+    // gates fetchStage checks, without side effects (Cache::present()
+    // leaves LRU alone; ifetchHit would refresh it).
+    if (rob_.size() < params_.robSize) {
+        const std::size_t idx = fetchIdx_;
+        const Inst si = idx < prog_->numInsts() ? prog_->inst(idx)
+                                                : Inst{};
+        const bool lsq_full =
+            (si.isLoad() && loadsInFlight_ >= params_.lqSize) ||
+            (si.isStore() && storesInFlight_ >= params_.sqSize);
+        if (!lsq_full &&
+            mem_.l1i().present(mem_.l1i().lineAddrOf(prog_->pcOf(idx)))) {
+            return next_cycle;
+        }
+    }
+
+    return next;
+}
+
+void
+Pipeline::skipToNextEvent(Cycle cap)
+{
+    Cycle horizon = nextLocalEventCycle();
+    horizon = std::min(horizon, mem_.nextEventCycle(now_));
+    horizon = std::min(horizon, defense_->nextEventCycle(now_));
+
+    // Park one cycle short of the event so the normal loop epilogue's
+    // ++now_ lands exactly on it — every stage then observes the event
+    // at the same now_ it would have without skipping. No event at all
+    // (deadlocked run): park at the cap, reproducing hitCycleCap.
+    const Cycle park =
+        (horizon == kNoEventCycle || horizon > cap) ? cap : horizon - 1;
+    if (park <= now_)
+        return;
+
+    const Cycle elided = park - now_;
+    defense_->tickMany(elided);
+    skippedCycles_ += elided;
+    ++skipWindows_;
+    skipLengths_.push_back(elided);
+    now_ = park;
+}
+
 RunResult
 Pipeline::run(Cycle cycle_cap)
 {
@@ -867,6 +1171,7 @@ Pipeline::run(Cycle cycle_cap)
     RunResult result;
     while (!halted_ && now_ < cap) {
         ++now_;
+        progress_ = false;
         mem_.tick(now_);
         computeSafety();
         defense_->tick();
@@ -877,6 +1182,8 @@ Pipeline::run(Cycle cycle_cap)
         issueStage();
         advanceMemOps();
         fetchStage();
+        if (cycleSkip_ && !progress_)
+            skipToNextEvent(cap);
     }
 
     if (halted_) {

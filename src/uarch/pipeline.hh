@@ -53,6 +53,8 @@ struct RunResult
     std::uint64_t committedInsts = 0;
     std::uint64_t squashes = 0;
     bool hitCycleCap = false;
+
+    bool operator==(const RunResult &) const = default;
 };
 
 /** One dynamic memory access, in execution order (μarch trace format 3). */
@@ -142,11 +144,47 @@ class Pipeline
     }
     /// @}
 
+    /** @name Cycle skipping (event-horizon fast-forward)
+     *  Results-invariant: with skipping on, quiescent cycles — cycles
+     *  in which no pipeline, memory-system, or defense state can change
+     *  — are elided by jumping now_ to the next scheduled event, so
+     *  committed-instruction cycles, EventLog timestamps, tracer
+     *  lifecycles, and traces are byte-identical either way
+     *  (tests/test_cycle_skip.cc; src/uarch/README.md has the soundness
+     *  argument). */
+    /// @{
+    void setCycleSkip(bool on) { cycleSkip_ = on; }
+    bool cycleSkip() const { return cycleSkip_; }
+    /** @name Per-run skip statistics (reset at each run()) */
+    /// @{
+    std::uint64_t skippedCycles() const { return skippedCycles_; }
+    std::uint64_t skipWindows() const { return skipWindows_; }
+    const std::vector<Cycle> &skipLengths() const { return skipLengths_; }
+    /// @}
+    /// @}
+
     /** @name Defense support */
     /// @{
     /** In-flight instruction by sequence number (nullptr if retired,
      *  squashed, or never existed). */
     DynInst *entry(SeqNum seq);
+    const DynInst *entry(SeqNum seq) const;
+    /** O(1) producer resolution through the rename-time slot link
+     *  (nullptr: producer retired — read committed state). */
+    const DynInst *producerOf(const DynInst::SrcReg &src) const
+    {
+        if (src.producer == kNoSeq)
+            return nullptr;
+        const DynInst *p = rob_.atSlot(src.producerSlot);
+        return p && p->seq == src.producer ? p : nullptr;
+    }
+    const DynInst *flagsProducerOf(const DynInst &inst) const
+    {
+        if (inst.flagsProducer == kNoSeq)
+            return nullptr;
+        const DynInst *p = rob_.atSlot(inst.flagsProducerSlot);
+        return p && p->seq == inst.flagsProducer ? p : nullptr;
+    }
     /** The reorder buffer, oldest first. */
     RingDeque<DynInst> &rob() { return rob_; }
     /** Is there an older in-flight load than @p seq marked unsafe-held?
@@ -168,12 +206,30 @@ class Pipeline
     void fetchStage();
     /// @}
 
+    /** Ready-list handle: (stable ROB slot, seq) pair, validated lazily
+     *  — a stale handle (owner committed or squashed, slot possibly
+     *  reused) fails the seq check and is dropped on the next walk. */
+    struct SlotRef
+    {
+        std::uint32_t slot;
+        SeqNum seq;
+    };
+
     /** @name Helpers */
     /// @{
     void reset();
     DynInst makeDynInst(std::size_t idx);
-    isa::Flags readFlagsValue(SeqNum producer) const;
+    isa::Flags readFlagsValue(const DynInst &inst) const;
     bool srcsReady(const DynInst &inst, bool address_only) const;
+    bool srcsReadyScan(const DynInst &inst, bool address_only) const;
+    void broadcastExecuted(const DynInst &producer);
+    bool tryIssue(DynInst &inst);
+    void issueStageWithFences();
+    DynInst *liveAt(const SlotRef &ref);
+    static void insertBySeq(std::vector<SlotRef> &list,
+                            std::uint32_t slot, SeqNum seq);
+    Cycle nextLocalEventCycle() const;
+    void skipToNextEvent(Cycle cap);
     Addr computeEffAddr(const DynInst &inst) const;
     void finalizeData(DynInst &inst);
     void resolveBranch(DynInst &inst);
@@ -213,6 +269,36 @@ class Pipeline
     bool fetchStalledOnL1i_ = false;
     std::array<SeqNum, isa::kNumRegs> renameReg_{};
     SeqNum renameFlags_ = kNoSeq;
+    /** ROB physical slot of each rename-table producer (kNoSlot where
+     *  renameReg_/renameFlags_ is kNoSeq); consulted at rename so every
+     *  SrcReg carries its producer's slot link. */
+    std::array<std::uint32_t, isa::kNumRegs> renameRegSlot_{};
+    std::uint32_t renameFlagsSlot_ = DynInst::kNoSlot;
+
+    /** @name Wakeup scoreboard ready lists (seq-sorted, lazily
+     *  validated). issueReady_: not-yet-issued entries whose relevant
+     *  pending counter is zero (defense-blocked entries stay and are
+     *  retried). execList_: issued-not-yet-executed entries. With any
+     *  fence in flight issueStage falls back to the full in-order scan
+     *  (the fence barrier needs cumulative older-executed state); the
+     *  lists stay maintained throughout so the walk resumes complete. */
+    /// @{
+    std::vector<SlotRef> issueReady_;
+    std::vector<SlotRef> execList_;
+    unsigned fencesInFlight_ = 0;
+    /// @}
+
+    /** @name Cycle skipping */
+    /// @{
+    bool cycleSkip_ = true;
+    /** Any state change this cycle? Cheap filter only: quiescence is
+     *  re-derived from state in nextLocalEventCycle(), so a missed
+     *  progress site costs skip opportunities, never correctness. */
+    bool progress_ = false;
+    std::uint64_t skippedCycles_ = 0;
+    std::uint64_t skipWindows_ = 0;
+    std::vector<Cycle> skipLengths_;
+    /// @}
     std::array<RegVal, isa::kNumRegs> committedRegs_{};
     isa::Flags committedFlags_;
     Cycle now_ = 0;

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Cycle-skip equivalence contract (src/uarch/README.md): fast-forwarding
+ * the simulator over quiescent cycles — cycles in which no pipeline,
+ * memory-system, or defense state can change before the next scheduled
+ * event — must not move a single byte of campaign output. For every
+ * defense, the canonical corpus export (header included: the knob is
+ * excluded from the config fingerprint) is byte-identical with skipping
+ * on (default) and off, at jobs 1 and 4, on all three executor
+ * backends. The event-horizon sources (Defense::nextEventCycle,
+ * MemSystem::nextEventCycle) are unit-tested directly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include "core/campaign.hh"
+#include "corpus/corpus_store.hh"
+#include "defense/factory.hh"
+#include "executor/sim_harness.hh"
+#include "isa/assembler.hh"
+#include "uarch/mem_system.hh"
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+using namespace amulet;
+
+/** Unique scratch directory, removed on destruction. */
+class ScratchDir
+{
+  public:
+    explicit ScratchDir(const std::string &name)
+        : path_((fs::temp_directory_path() /
+                 ("amulet_cycle_skip_test_" + name +
+                  std::to_string(::getpid())))
+                    .string())
+    {
+        fs::remove_all(path_);
+    }
+
+    ~ScratchDir() { fs::remove_all(path_); }
+
+    std::string
+    sub(const std::string &name) const
+    {
+        return (fs::path(path_) / name).string();
+    }
+
+  private:
+    std::string path_;
+};
+
+core::CampaignConfig
+campaignConfig(defense::DefenseKind kind, bool cycle_skip, unsigned jobs,
+               executor::BackendKind backend)
+{
+    core::CampaignConfig cfg;
+    cfg.harness.defense.kind = kind;
+    cfg.harness.prime = (kind == defense::DefenseKind::CleanupSpec ||
+                         kind == defense::DefenseKind::SpecLfb)
+                            ? executor::PrimeMode::Invalidate
+                            : executor::PrimeMode::ConflictFill;
+    cfg.harness.bootInsts = 1500;
+    cfg.harness.cycleSkip = cycle_skip;
+    if (kind == defense::DefenseKind::Stt) {
+        cfg.harness.map.sandboxPages = 128;
+        cfg.contract = contracts::archSeq();
+    }
+    cfg.gen.map = cfg.harness.map;
+    cfg.inputs.map = cfg.harness.map;
+    cfg.numPrograms = 6;
+    cfg.baseInputsPerProgram = 6;
+    cfg.siblingsPerBase = 4;
+    cfg.seed = 1;
+    cfg.jobs = jobs;
+    cfg.backend = backend;
+    return cfg;
+}
+
+/** Run one campaign into a corpus dir and return its canonical export. */
+std::string
+runAndExport(const ScratchDir &scratch, const std::string &tag,
+             const core::CampaignConfig &base)
+{
+    core::CampaignConfig cfg = base;
+    cfg.corpusDir = scratch.sub(tag);
+    core::Campaign(cfg).run();
+    return corpus::CorpusStore::exportCanonical(cfg.corpusDir);
+}
+
+void
+runEquivalence(defense::DefenseKind kind, bool expect_detection)
+{
+    ScratchDir scratch(defense::defenseKindName(kind));
+    // Reference: cycle skipping ON (the default), in-process, serial.
+    const auto ref_cfg = campaignConfig(kind, true, 1,
+                                        executor::BackendKind::InProcess);
+    const auto ref_stats = [&] {
+        core::CampaignConfig cfg = ref_cfg;
+        cfg.corpusDir = scratch.sub("ref");
+        return core::Campaign(cfg).run();
+    }();
+    if (expect_detection)
+        EXPECT_TRUE(ref_stats.detected());
+    const std::string reference =
+        corpus::CorpusStore::exportCanonical(scratch.sub("ref"));
+
+    // Skipping must be invisible on every (jobs, backend) pair: the
+    // knob is runtime-only, exactly like jobs and backend themselves.
+    unsigned n = 0;
+    for (unsigned jobs : {1u, 4u}) {
+        for (auto backend : executor::allBackendKinds()) {
+            SCOPED_TRACE("jobs=" + std::to_string(jobs) + " backend=" +
+                         executor::backendKindName(backend));
+            const std::string off = runAndExport(
+                scratch, "off" + std::to_string(n++),
+                campaignConfig(kind, false, jobs, backend));
+            EXPECT_EQ(reference, off);
+        }
+    }
+}
+
+TEST(CycleSkipEquivalence, Baseline)
+{
+    runEquivalence(defense::DefenseKind::Baseline, true);
+}
+
+TEST(CycleSkipEquivalence, InvisiSpec)
+{
+    runEquivalence(defense::DefenseKind::InvisiSpec, false);
+}
+
+TEST(CycleSkipEquivalence, CleanupSpec)
+{
+    runEquivalence(defense::DefenseKind::CleanupSpec, false);
+}
+
+TEST(CycleSkipEquivalence, SpecLfb)
+{
+    runEquivalence(defense::DefenseKind::SpecLfb, false);
+}
+
+TEST(CycleSkipEquivalence, Stt)
+{
+    runEquivalence(defense::DefenseKind::Stt, false);
+}
+
+// Every shipped defense has been audited for the event-horizon contract
+// and declares itself fully event-driven (kNoEventCycle); the base
+// class's conservative now+1 — which disables skipping outright — is
+// reserved for unaudited out-of-tree defenses.
+TEST(CycleSkipHorizon, DefenseContracts)
+{
+    const uarch::CoreParams params;
+    {
+        defense::Defense unaudited;
+        EXPECT_EQ(unaudited.nextEventCycle(41), Cycle{42});
+        unaudited.tickMany(1000); // contractual no-op
+    }
+    for (defense::DefenseKind kind : defense::allDefenseKinds()) {
+        SCOPED_TRACE(defense::defenseKindName(kind));
+        defense::DefenseConfig cfg;
+        cfg.kind = kind;
+        const auto defense = defense::makeDefense(cfg, params);
+        EXPECT_EQ(defense->nextEventCycle(41), kNoEventCycle);
+    }
+}
+
+// MemSystem horizon: idle -> no event; queued work pins now+1 (the
+// in-order controller may stall-and-log its head every cycle); once the
+// queues drain, the horizon is the exact scheduled fill time.
+TEST(CycleSkipHorizon, MemSystem)
+{
+    const uarch::CoreParams params;
+    EventLog log;
+    uarch::MemSystem mem(params, log);
+    EXPECT_EQ(mem.nextEventCycle(7), kNoEventCycle);
+
+    uarch::MemReq req;
+    req.kind = uarch::ReqKind::Load;
+    req.lineAddr = 0x1000;
+    mem.enqueueL1D(req);
+    EXPECT_EQ(mem.nextEventCycle(7), Cycle{8});
+
+    // One tick accepts the miss into an MSHR; the queue is empty and
+    // the horizon becomes the scheduled fill cycle — strictly in the
+    // future, and stable until the fill lands.
+    mem.tick(8);
+    ASSERT_FALSE(mem.idle());
+    const Cycle fill = mem.nextEventCycle(8);
+    ASSERT_NE(fill, kNoEventCycle);
+    EXPECT_GT(fill, Cycle{9});
+    for (Cycle c = 9; c < fill; ++c) {
+        mem.tick(c);
+        EXPECT_EQ(mem.nextEventCycle(c), fill);
+    }
+    mem.tick(fill);
+    EXPECT_TRUE(mem.idle());
+    EXPECT_EQ(mem.nextEventCycle(fill), kNoEventCycle);
+}
+
+// Direct harness-level check on a miss-heavy program: skipping elides a
+// significant share of cycles yet reproduces the run result and trace
+// bit-for-bit, and the per-run statistics are exposed.
+TEST(CycleSkipHorizon, SkipsAndReproduces)
+{
+    const isa::Program prog = isa::assemble(R"(
+        MOV RAX, qword ptr [R14 + 0]
+        MOV RBX, qword ptr [R14 + 4096]
+        ADD RAX, RBX
+    )");
+
+    auto run_once = [&prog](bool skip) {
+        executor::HarnessConfig cfg;
+        cfg.map.sandboxPages = 2;
+        cfg.bootInsts = 1500;
+        cfg.cycleSkip = skip;
+        executor::SimHarness harness(cfg);
+        const isa::FlatProgram fp(prog, cfg.map.codeBase);
+        harness.loadProgram(&fp);
+        arch::Input input;
+        input.id = 0;
+        input.regs.fill(0);
+        input.sandbox.assign(cfg.map.sandboxSize(), 0);
+        auto out = harness.runInput(input);
+        return std::make_tuple(out.run, out.trace,
+                               harness.pipeline().skippedCycles(),
+                               harness.pipeline().skipWindows());
+    };
+
+    const auto [run_on, trace_on, skipped_on, windows_on] = run_once(true);
+    const auto [run_off, trace_off, skipped_off, windows_off] =
+        run_once(false);
+    EXPECT_TRUE(run_on == run_off);
+    EXPECT_EQ(trace_on, trace_off);
+    EXPECT_GT(skipped_on, 0u);
+    EXPECT_GT(windows_on, 0u);
+    EXPECT_EQ(skipped_off, 0u);
+    EXPECT_EQ(windows_off, 0u);
+    // The two cache misses dominate this run: skipping should recover
+    // a large fraction of the simulated cycles.
+    EXPECT_GT(skipped_on, run_on.cycles / 4);
+}
+
+// A corpus journaled without skipping resumes under it (and the other
+// way around): the knob must not participate in the config
+// fingerprint, or kill/resume workflows would wedge on a runtime
+// setting.
+TEST(CycleSkipEquivalence, FingerprintIgnoresTheKnob)
+{
+    ScratchDir scratch("resume");
+    core::CampaignConfig cfg = campaignConfig(
+        defense::DefenseKind::Baseline, false, 1,
+        executor::BackendKind::InProcess);
+    cfg.corpusDir = scratch.sub("c");
+    cfg.maxProgramsThisRun = 3;
+    core::Campaign(cfg).run();
+
+    core::CampaignConfig resume_cfg = cfg;
+    resume_cfg.harness.cycleSkip = true; // flipped across the resume
+    resume_cfg.maxProgramsThisRun = 0;
+    resume_cfg.resume = true;
+    const auto resumed = core::Campaign(resume_cfg).run();
+    EXPECT_EQ(resumed.programs, cfg.numPrograms);
+
+    // And the full campaign must match an uninterrupted all-on run.
+    const std::string uninterrupted = runAndExport(
+        scratch, "full",
+        campaignConfig(defense::DefenseKind::Baseline, true, 1,
+                       executor::BackendKind::InProcess));
+    EXPECT_EQ(uninterrupted,
+              corpus::CorpusStore::exportCanonical(scratch.sub("c")));
+}
+
+} // namespace
