@@ -10,11 +10,21 @@
  * through the assembler — the same round trip the violation corpus
  * relies on.
  *
- * Test hook: AMULET_SIM_WORKER_CRASH_AFTER=N makes the worker die
- * (exit 42) when it receives its (N+1)-th state-mutating operation
- * (batch/run/classify), *before* executing it. tests/test_backend.cc
- * uses this to prove that backend crash recovery reproduces an
- * uninterrupted campaign byte for byte.
+ * Test hooks (both count state-mutating operations — batch/run/
+ * classify — and fire *before* executing the op, so recovery reruns a
+ * complete operation):
+ *
+ *   AMULET_SIM_WORKER_CRASH_AFTER=N   die (exit 42) on the (N+1)-th
+ *                                     mutating op.
+ *   AMULET_SIM_WORKER_HANG_AFTER=N    wedge forever (pause loop) on
+ *                                     the (N+1)-th mutating op; the
+ *                                     parent's per-op deadline
+ *                                     (BackendOptions::opTimeoutSec /
+ *                                     $AMULET_SIM_OP_TIMEOUT_SEC) must
+ *                                     kill and restart it.
+ *
+ * tests/test_backend.cc uses these to prove that backend crash and
+ * hang recovery reproduce an uninterrupted campaign byte for byte.
  */
 
 #include <cstdio>
@@ -22,6 +32,8 @@
 #include <iostream>
 #include <optional>
 #include <string>
+
+#include <unistd.h>
 
 #include "core/signature.hh"
 #include "corpus/serde.hh"
@@ -44,6 +56,7 @@ struct Worker
     std::optional<isa::Program> program; ///< keeps the source alive
     std::optional<isa::FlatProgram> flat;
     unsigned long crashAfter = 0; ///< 0: never (test hook)
+    unsigned long hangAfter = 0;  ///< 0: never (test hook)
     unsigned long mutatingOps = 0;
 
     executor::SimHarness &
@@ -54,12 +67,21 @@ struct Worker
         return *harness;
     }
 
-    /** Count a state-mutating op; fire the crash-injection hook. */
+    /** Count a state-mutating op; fire the fault-injection hooks. */
     void
     mutatingOp()
     {
-        if (crashAfter > 0 && ++mutatingOps > crashAfter)
+        if (crashAfter == 0 && hangAfter == 0)
+            return;
+        ++mutatingOps;
+        if (crashAfter > 0 && mutatingOps > crashAfter)
             std::_Exit(42);
+        if (hangAfter > 0 && mutatingOps > hangAfter) {
+            // Wedge without dying: the parent sees silence, not EOF,
+            // and only its per-operation deadline can save it.
+            for (;;)
+                pause();
+        }
     }
 
     /** Pipeline tracing for one request (protocol v3 "utrace"). The
@@ -229,6 +251,8 @@ main()
     Worker worker;
     if (const char *env = std::getenv("AMULET_SIM_WORKER_CRASH_AFTER"))
         worker.crashAfter = std::strtoul(env, nullptr, 10);
+    if (const char *env = std::getenv("AMULET_SIM_WORKER_HANG_AFTER"))
+        worker.hangAfter = std::strtoul(env, nullptr, 10);
 
     std::string line;
     while (std::getline(std::cin, line)) {

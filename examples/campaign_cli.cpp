@@ -64,6 +64,8 @@ usage(const char *argv0)
         "       %s export --corpus-dir DIR [--out FILE]\n"
         "       %s merge  --corpus-dir DST SRC...\n"
         "       %s stats  --corpus-dir DIR [--top N]\n"
+        "       %s quarantined --corpus-dir DIR    list quarantined "
+        "programs\n"
         "       %s inspect DIR INDEX [--out DIR]   violation forensics\n"
         "run options:\n"
         "  --defense NAME    baseline|invisispec|cleanupspec|stt|speclfb\n"
@@ -99,6 +101,11 @@ usage(const char *argv0)
         "  --invalidate      invalidate-hook cache reset (default: "
         "conflict fill)\n"
         "  --stop-first      stop at the first confirmed violation\n"
+        "  --fault-plan SPEC deterministic chaos layer (testing; see\n"
+        "                    src/runtime/fault.hh for the grammar; "
+        "runtime\n"
+        "                    knob — unaffected programs are identical, "
+        "see --list)\n"
         "corpus options (run):\n"
         "  --corpus-dir DIR  journal confirmed violations + checkpoints\n"
         "  --resume          continue from DIR's checkpoint\n"
@@ -123,7 +130,7 @@ usage(const char *argv0)
         "discovery:\n"
         "  --list            print every defense, contract, trace format "
         "and backend\n",
-        argv0, argv0, argv0, argv0, argv0, argv0);
+        argv0, argv0, argv0, argv0, argv0, argv0, argv0);
 }
 
 /** Flag-value discovery: every name each selector flag accepts. */
@@ -147,8 +154,9 @@ listChoices()
     // signatures, counters, record bytes) — only how/where the same
     // work runs. They are excluded from the corpus config fingerprint.
     std::printf("\nruntime knobs: --jobs --backend --no-prime-cache "
-                "--no-ctrace-memo --no-cycle-skip\n"
-                "(prime cache + ctrace memo + cycle skip default: on)\n");
+                "--no-ctrace-memo --no-cycle-skip --fault-plan\n"
+                "(prime cache + ctrace memo + cycle skip default: on; "
+                "fault plan default: off)\n");
 }
 
 /**
@@ -605,6 +613,32 @@ cmdMerge(const std::string &dst, const std::vector<std::string> &srcs)
     }
 }
 
+/**
+ * List quarantined programs (`quarantined --corpus-dir DIR`): one
+ * `programIndex<TAB>reason` line per quarantined program, in program
+ * order. Exit 0 whether or not any exist — an empty list is a healthy
+ * corpus, not an error — so scripts gate on the line count.
+ */
+int
+cmdQuarantined(const std::string &dir)
+{
+    using namespace amulet;
+    if (dir.empty()) {
+        std::fprintf(stderr, "campaign_cli: --corpus-dir is required for "
+                             "this subcommand\n");
+        return 2;
+    }
+    try {
+        for (const auto &entry : corpus::CorpusStore::readQuarantined(dir))
+            std::printf("%u\t%s\n", entry.programIndex,
+                        entry.reason.c_str());
+        return 0;
+    } catch (const corpus::CorpusError &e) {
+        std::fprintf(stderr, "campaign_cli: %s\n", e.what());
+        return 1;
+    }
+}
+
 } // namespace
 
 int
@@ -621,7 +655,7 @@ main(int argc, char **argv)
         first_arg = 2;
         if (command != "run" && command != "replay" && command != "export"
             && command != "merge" && command != "stats"
-            && command != "inspect") {
+            && command != "quarantined" && command != "inspect") {
             std::fprintf(stderr, "campaign_cli: unknown subcommand '%s'\n",
                          command.c_str());
             usage(argv[0]);
@@ -768,6 +802,9 @@ main(int argc, char **argv)
         } else if (arg == "--stop-first") {
             only("run");
             cfg.stopAtFirstViolation = true;
+        } else if (arg == "--fault-plan") {
+            only("run");
+            cfg.faultPlan = next();
         } else if (arg == "--corpus-dir") {
             corpus_dir = next();
         } else if (arg == "--resume") {
@@ -833,6 +870,8 @@ main(int argc, char **argv)
         return cmdMerge(corpus_dir, positional);
     if (command == "stats")
         return cmdStats(corpus_dir, stats_top);
+    if (command == "quarantined")
+        return cmdQuarantined(corpus_dir);
     if (command == "inspect") {
         std::string index_text;
         if (corpus_dir.empty() && positional.size() == 2) {

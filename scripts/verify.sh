@@ -201,6 +201,62 @@ cmp "${SMOKE}/be_inproc.jsonl" "${SMOKE}/be_crash.jsonl"
 
 echo "backend smoke: OK"
 
+# --- Chaos smoke: fault-injection survivability ------------------------------
+# The failure-model contract (src/runtime/README.md, "Failure model"):
+# a seeded chaos plan — worker crashes, real hangs, dropped and garbled
+# replies, shard deaths, a torn journal append, failing checkpoint
+# writes, and one poisoned program — must complete the campaign with
+# the poisoned program quarantined (journaled, counted, listed) and the
+# export restricted to non-quarantined programs byte-identical to the
+# clean run, at jobs=1 and jobs=4. The plan is seeded and site-keyed,
+# so both jobs values quarantine the same set and export the same bytes.
+
+echo "--- chaos smoke: seeded fault plan survives and quarantines"
+CHAOS_PLAN="seed=9;poison=2;wire.crash=25;wire.garble=25;wire.drop=25"
+CHAOS_PLAN="${CHAOS_PLAN};shard.throw=120;journal.once=1;checkpoint.fail=500"
+for j in 1 4; do
+  AMULET_SIM_WORKER_HANG_AFTER=150 AMULET_SIM_OP_TIMEOUT_SEC=4 \
+      "${CLI}" "${CAMPAIGN[@]}" --backend subprocess --checkpoint-every 2 \
+      --corpus-dir "${SMOKE}/chaos_j$j" --jobs "$j" \
+      --fault-plan "${CHAOS_PLAN}" > "${SMOKE}/chaos_j$j.txt"
+  grep -q "quarantined:" "${SMOKE}/chaos_j$j.txt"
+  "${CLI}" quarantined --corpus-dir "${SMOKE}/chaos_j$j" \
+      > "${SMOKE}/chaos_j$j.quar"
+  cut -f1 "${SMOKE}/chaos_j$j.quar" | grep -qx "2" \
+      || { echo "FAIL: poisoned program 2 not quarantined" >&2; exit 1; }
+  "${CLI}" export --corpus-dir "${SMOKE}/chaos_j$j" \
+      --out "${SMOKE}/chaos_j$j.jsonl" > /dev/null
+  "${CLI}" stats --corpus-dir "${SMOKE}/chaos_j$j" \
+      | grep -q "campaign.quarantinedPrograms"
+done
+# Deterministic chaos: both jobs values reach the same quarantine set
+# and the same export bytes.
+diff "${SMOKE}/chaos_j1.quar" "${SMOKE}/chaos_j4.quar"
+cmp "${SMOKE}/chaos_j1.jsonl" "${SMOKE}/chaos_j4.jsonl"
+# Unaffected programs are untouched: the clean reference export minus
+# the quarantined programs' records must equal the chaos export (their
+# headers share one fingerprint — the plan is a runtime knob).
+python3 - "${SMOKE}/full.jsonl" "${SMOKE}/chaos_j1.jsonl" \
+    "${SMOKE}/chaos_j1.quar" "${SMOKE}/chaos_filtered.jsonl" <<'EOF'
+import json, sys
+drop = {int(l.split("\t")[0]) for l in open(sys.argv[3]) if l.strip()}
+assert drop, "vacuous chaos smoke: nothing was quarantined"
+clean = open(sys.argv[1], "rb").read().splitlines(keepends=True)
+chaos = open(sys.argv[2], "rb").read().splitlines(keepends=True)
+assert json.loads(clean[0])["fingerprint"] == \
+    json.loads(chaos[0])["fingerprint"], "fault plan moved the fingerprint"
+kept = [l for l in clean[1:]
+        if json.loads(l)["programIndex"] not in drop]
+assert json.loads(chaos[0])["records"] == len(kept), "record count"
+open(sys.argv[4], "wb").write(b"".join(kept))
+EOF
+cmp "${SMOKE}/chaos_filtered.jsonl" <(tail -n +2 "${SMOKE}/chaos_j1.jsonl")
+# With the plan off nothing in the chaos machinery runs: the reference
+# corpora of every other smoke above already prove the byte-identity.
+"${CLI}" --list | grep -q -- "--fault-plan"
+
+echo "chaos smoke: OK"
+
 # --- Telemetry smoke: observability must not move a record byte --------------
 # The telemetry contract (src/telemetry/README.md): tracing + heartbeats
 # are results-invisible — exports (headers included; the telemetry config

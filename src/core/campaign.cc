@@ -46,6 +46,9 @@ CampaignStats::report() const
     if (resumedPrograms > 0)
         os << "resumed (checkpoint):" << " " << resumedPrograms
            << " programs\n";
+    if (quarantinedPrograms > 0)
+        os << "quarantined:         " << quarantinedPrograms
+           << " programs (exhausted recovery; excluded from export)\n";
     if (firstDetectSeconds >= 0)
         os << "first detection:     " << firstDetectSeconds << " s\n";
     for (const auto &[name, count] : signatureCounts)

@@ -114,6 +114,14 @@ struct CampaignConfig
      *  results are byte-identical with every knob on or off
      *  (tests/test_telemetry.cc). */
     telemetry::TelemetryConfig telemetry;
+
+    /** Deterministic fault-injection plan (src/runtime/fault.hh; empty:
+     *  chaos off, the default; $AMULET_FAULT_PLAN is the fallback when
+     *  empty). Runtime-only and excluded from the corpus fingerprint:
+     *  a plan may quarantine programs, but every program it does not
+     *  poison produces byte-identical results to a clean run
+     *  (tests/test_fault.cc). */
+    std::string faultPlan;
 };
 
 /** Per-trace-format tallies for the all-formats mode. */
@@ -156,6 +164,23 @@ struct ProgramOutcome
     std::vector<ViolationRecord> records;
     std::map<std::string, std::uint64_t> signatureCounts;
     std::map<executor::TraceFormat, FormatTally> formatTallies;
+
+    /** The program was quarantined: its executor failed every allowed
+     *  recovery attempt (poisoned worker) or its shard died repeatedly
+     *  while running it. No partial results merge (ran stays false);
+     *  the program is journaled as quarantined, counted in
+     *  CampaignStats, and skipped on --resume. */
+    bool quarantined = false;
+    std::string quarantineReason;
+
+    static ProgramOutcome
+    makeQuarantined(std::string reason)
+    {
+        ProgramOutcome out;
+        out.quarantined = true;
+        out.quarantineReason = std::move(reason);
+        return out;
+    }
 };
 
 /** Campaign outcome. */
@@ -180,6 +205,10 @@ struct CampaignStats
     std::string backend = "inproc"; ///< executor backend the shards used
     /** Programs restored from a corpus checkpoint rather than run. */
     unsigned resumedPrograms = 0;
+    /** Programs quarantined after exhausted recovery (poisoned worker
+     *  ops or repeated shard deaths); excluded from every other
+     *  tally and from the corpus export. */
+    unsigned quarantinedPrograms = 0;
     executor::TimeBreakdown times;
     std::map<executor::TraceFormat, FormatTally> formatTallies;
     /** Merged campaign metrics (src/telemetry/): the `time.*` timers

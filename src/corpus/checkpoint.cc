@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "corpus/serde.hh"
+#include "runtime/fault.hh"
 
 namespace fs = std::filesystem;
 
@@ -43,6 +44,21 @@ writeCheckpoint(const std::string &dir, const core::CampaignConfig &config,
 
     const std::string path = checkpointPath(dir);
     const std::string tmp = path + ".tmp";
+    // Deterministic chaos site (src/runtime/fault.hh): fail the write
+    // inside the crash window the tmp+rename dance protects against — a
+    // torn tmp file and no rename. The previous checkpoint must stay
+    // intact and the campaign must keep running (the scheduler treats a
+    // failed checkpoint write as lost progress-markers, not lost data).
+    if (const auto *plan = runtime::fault::FaultPlan::active()) {
+        if (plan->fires("checkpoint.fail",
+                        plan->occurrence("checkpoint.fail"))) {
+            const std::string dump = j.dump();
+            std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+            out << dump.substr(0, dump.size() / 2);
+            throw CorpusError("cannot write " + tmp +
+                              " (injected ENOSPC)");
+        }
+    }
     {
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         out << j.dump() << "\n";

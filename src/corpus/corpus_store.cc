@@ -5,7 +5,10 @@
 #include <fstream>
 #include <sstream>
 
+#include <unistd.h>
+
 #include "corpus/serde.hh"
+#include "runtime/fault.hh"
 
 namespace fs = std::filesystem;
 
@@ -94,18 +97,35 @@ walkJournal(const std::string &path, PerLine per_line)
     return scan;
 }
 
+/** True for a v3 `"kind":"quarantine"` journal line (record lines
+ *  carry no "kind" member). */
+bool
+isQuarantineLine(const Json &json)
+{
+    const Json *kind = json.find("kind");
+    return kind && kind->asStr() == "quarantine";
+}
+
 /** Dedup key straight off a parsed journal line — no full record
  *  deserialization (no program re-assembly, no context decoding), so
  *  opening a store stays cheap on corpora grown over many runs. */
 std::string
 keyFromJson(const Json &json)
 {
+    if (isQuarantineLine(json))
+        return "q/" + std::to_string(json.at("programIndex").asU64());
     std::ostringstream os;
     os << json.at("programIndex").asU64() << "/"
        << json.at("inputA").at("id").asU64() << "/"
        << json.at("inputB").at("id").asU64() << "/"
        << json.at("signature").asStr();
     return os.str();
+}
+
+bool
+isQuarantineKey(const std::string &key)
+{
+    return key.size() >= 2 && key[0] == 'q' && key[1] == '/';
 }
 
 } // namespace
@@ -142,7 +162,9 @@ CorpusStore::CorpusStore(std::string dir,
     // fragment would otherwise poison the next record's line.
     const JournalScan scan = walkJournal(
         journalPath(), [this](const Json &j) { index_.insert(keyFromJson(j)); });
-    count_ = index_.size();
+    for (const std::string &key : index_)
+        if (!isQuarantineKey(key))
+            ++count_;
     std::error_code ec;
     const std::uintmax_t size = fs::file_size(journalPath(), ec);
     if (!ec && size > scan.validBytes) {
@@ -159,8 +181,11 @@ CorpusStore::CorpusStore(std::string dir,
     journal_ = std::fopen(journalPath().c_str(), "ab");
     if (!journal_)
         throw CorpusError("cannot open journal in " + dir_);
-    if (scan.validBytes > 0 && !scan.terminated)
+    validBytes_ = scan.validBytes;
+    if (scan.validBytes > 0 && !scan.terminated) {
         std::fputc('\n', journal_); // re-terminate a valid torn tail
+        ++validBytes_;
+    }
 }
 
 CorpusStore::~CorpusStore()
@@ -187,11 +212,57 @@ CorpusStore::recordKey(const core::ViolationRecord &record)
 bool
 CorpusStore::append(const core::ViolationRecord &record)
 {
-    const std::string line = toJson(record).dump();
-    const std::string key = recordKey(record);
+    if (appendLine(toJson(record).dump(), recordKey(record),
+                   record.programIndex)) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++count_;
+        return true;
+    }
+    return false;
+}
+
+bool
+CorpusStore::appendQuarantine(unsigned programIndex,
+                              const std::string &reason)
+{
+    Json j = Json::object();
+    j.set("kind", Json::str("quarantine"));
+    j.set("version", Json::number(std::uint64_t{kFormatVersion}));
+    j.set("programIndex", Json::number(std::uint64_t{programIndex}));
+    j.set("reason", Json::str(reason));
+    // Quarantine lines are exempt from the injected-ENOSPC chaos site:
+    // they are the containment of a fault, and faulting the containment
+    // itself is the campaign-abort path, not a survivable one.
+    return appendLine(j.dump(), "q/" + std::to_string(programIndex),
+                      kNoFaultKey);
+}
+
+bool
+CorpusStore::appendLine(const std::string &line, const std::string &key,
+                        std::uint64_t faultProgram)
+{
     std::lock_guard<std::mutex> lock(mu_);
+    if (broken_)
+        throw CorpusError("journal in " + dir_ +
+                          " is disabled after an unhealable append "
+                          "failure");
     if (!index_.insert(key).second)
         return false;
+    // Deterministic chaos site (src/runtime/fault.hh): tear the write —
+    // half the line reaches the disk, then the device reports ENOSPC —
+    // exercising exactly the short-write path a full disk produces.
+    if (faultProgram != kNoFaultKey) {
+        if (const auto *plan = runtime::fault::FaultPlan::active()) {
+            if (plan->journalAppendFault(faultProgram)) {
+                std::fwrite(line.data(), 1, line.size() / 2, journal_);
+                std::fflush(journal_);
+                index_.erase(key);
+                healTornAppend();
+                throw CorpusError("journal append failed in " + dir_ +
+                                  " (injected ENOSPC)");
+            }
+        }
+    }
     // Flush per record: the journal must already hold everything a
     // checkpoint can claim as completed when the process dies. An I/O
     // failure (disk full, error) must not let the index/checkpoint
@@ -203,11 +274,28 @@ CorpusStore::append(const core::ViolationRecord &record)
         std::fflush(journal_) == 0;
     if (!ok) {
         index_.erase(key);
+        healTornAppend();
         throw CorpusError("journal append failed in " + dir_ +
                           " (disk full?)");
     }
-    ++count_;
+    validBytes_ += line.size() + 1;
     return true;
+}
+
+void
+CorpusStore::healTornAppend()
+{
+    // A failed append may have left a torn fragment past the last good
+    // line. Truncate back so the *next* append cannot fuse with the
+    // fragment into a terminated — permanently corrupt — line; the
+    // store then survives a transient ENOSPC at the cost of the one
+    // record (whose program stays unreported and is re-run). If even
+    // the truncate fails, poison the store: refusing later appends is
+    // recoverable (reopen repairs the tail), silent corruption is not.
+    std::fflush(journal_);
+    clearerr(journal_);
+    if (ftruncate(fileno(journal_), static_cast<off_t>(validBytes_)) != 0)
+        broken_ = true;
 }
 
 std::size_t
@@ -258,11 +346,39 @@ CorpusStore::readJournal(const std::string &dir)
     std::set<std::string> keys;
     walkJournal((fs::path(dir) / "journal.jsonl").string(),
                 [&](const Json &j) {
+                    if (isQuarantineLine(j))
+                        return; // facts, not records: see readQuarantined
                     core::ViolationRecord rec = recordFromJson(j);
                     if (keys.insert(recordKey(rec)).second)
                         records.push_back(std::move(rec));
                 });
     return records;
+}
+
+std::vector<CorpusStore::QuarantineEntry>
+CorpusStore::readQuarantined(const std::string &dir)
+{
+    std::map<unsigned, std::string> by_program;
+    walkJournal((fs::path(dir) / "journal.jsonl").string(),
+                [&](const Json &j) {
+                    if (!isQuarantineLine(j))
+                        return;
+                    const unsigned version = j.at("version").asUnsigned();
+                    if (version != kFormatVersion) {
+                        throw CorpusError(
+                            "quarantine line version " +
+                            std::to_string(version) + " unsupported");
+                    }
+                    by_program.emplace(
+                        static_cast<unsigned>(
+                            j.at("programIndex").asU64()),
+                        j.at("reason").asStr());
+                });
+    std::vector<QuarantineEntry> entries;
+    entries.reserve(by_program.size());
+    for (auto &[program, reason] : by_program)
+        entries.push_back({program, std::move(reason)});
+    return entries;
 }
 
 std::string
@@ -320,6 +436,10 @@ CorpusStore::mergeInto(const std::string &dst_dir,
             if (dst.append(rec))
                 ++appended;
         }
+        // Quarantine facts travel with a shard's journal: the merged
+        // corpus must know which programs never produced results.
+        for (const QuarantineEntry &q : readQuarantined(src))
+            dst.appendQuarantine(q.programIndex, q.reason);
     }
     return appended;
 }

@@ -28,6 +28,7 @@
 #ifndef AMULET_CORPUS_CORPUS_STORE_HH
 #define AMULET_CORPUS_CORPUS_STORE_HH
 
+#include <cstdint>
 #include <cstdio>
 #include <map>
 #include <mutex>
@@ -64,10 +65,29 @@ class CorpusStore
      * before returning). Returns false when the dedup index already
      * holds the record's key — e.g. a resumed program re-deriving a
      * violation the killed run had journaled.
+     *
+     * On an append failure (short write/ENOSPC, injected or real) the
+     * store throws CorpusError *after* self-healing: the journal is
+     * truncated back to its last known-good byte length, so the torn
+     * fragment cannot fuse with a later append into a terminated —
+     * i.e. permanently corrupt — line. A transient disk error costs
+     * one record (whose program stays unreported and is re-leased),
+     * never the journal.
      */
     bool append(const core::ViolationRecord &record);
 
-    /** Records currently journaled (journal order). */
+    /**
+     * Journal a quarantined program (`"kind":"quarantine"` line, v3):
+     * its executor exhausted recovery, so it has no records, but the
+     * fact must survive kills — resume skips quarantined programs and
+     * `campaign_cli quarantined` lists them. Deduped per program.
+     * Quarantine lines are invisible to readJournal/exportCanonical:
+     * exports cover exactly the non-quarantined programs' records.
+     */
+    bool appendQuarantine(unsigned programIndex, const std::string &reason);
+
+    /** Records currently journaled (journal order; quarantine lines
+     *  excluded). */
     std::size_t size() const;
 
     /**
@@ -94,9 +114,22 @@ class CorpusStore
     /** Campaign config stored in meta.json. */
     static core::CampaignConfig readConfig(const std::string &dir);
 
-    /** All journaled records, in journal (append) order; deduped. */
+    /** All journaled records, in journal (append) order; deduped.
+     *  Quarantine lines are skipped. */
     static std::vector<core::ViolationRecord>
     readJournal(const std::string &dir);
+
+    /** One journaled quarantine fact. */
+    struct QuarantineEntry
+    {
+        unsigned programIndex = 0;
+        std::string reason;
+    };
+
+    /** All journaled quarantine lines, deduped by program, in program
+     *  order. */
+    static std::vector<QuarantineEntry>
+    readQuarantined(const std::string &dir);
 
     /**
      * Canonical export: records sorted by key with the wall-clock
@@ -125,12 +158,29 @@ class CorpusStore
   private:
     std::string journalPath() const;
 
+    /** Locked append of one pre-rendered journal line under @p key.
+     *  @p faultProgram keys the injected-ENOSPC chaos site (pass
+     *  kNoFaultKey to exempt the line, e.g. quarantine facts). */
+    bool appendLine(const std::string &line, const std::string &key,
+                    std::uint64_t faultProgram);
+
+    /** Truncate the journal back to validBytes_ after a failed append
+     *  (call with mu_ held). Sets broken_ when even that fails. */
+    void healTornAppend();
+
+    static constexpr std::uint64_t kNoFaultKey = ~std::uint64_t(0);
+
     mutable std::mutex mu_;
     std::string dir_;
     std::string fingerprint_;
     std::set<std::string> index_;
     std::size_t count_ = 0;
     std::FILE *journal_ = nullptr;
+    /** Journal byte length known to hold only complete lines. */
+    std::uintmax_t validBytes_ = 0;
+    /** A failed append could not be healed; further appends refuse
+     *  rather than risk fusing lines into permanent corruption. */
+    bool broken_ = false;
 };
 
 } // namespace amulet::corpus

@@ -1134,6 +1134,12 @@ configToJson(const core::CampaignConfig &config)
     // byte-identical with the memo on or off (tests/test_ctrace_memo.cc)
     // — so it must not move the corpus config fingerprint, and corpora
     // written with different settings may mix.
+    // CampaignConfig::faultPlan is likewise runtime-only: fault
+    // injection may quarantine programs (which the journal records per
+    // program), but every surviving program's results are
+    // byte-identical to a clean run (tests/test_fault.cc), so the plan
+    // must not move the fingerprint — a chaos run and its clean
+    // reference share one corpus identity.
     return j;
 }
 
@@ -1193,6 +1199,8 @@ outcomeToJson(const runtime::ProgramOutcome &outcome)
     Json j = Json::object();
     j.set("ran", Json::boolean(outcome.ran));
     j.set("skippedProgram", Json::boolean(outcome.skippedProgram));
+    j.set("quarantined", Json::boolean(outcome.quarantined));
+    j.set("quarantineReason", Json::str(outcome.quarantineReason));
     j.set("testCases", Json::number(outcome.testCases));
     j.set("filteredTestCases",
           Json::number(outcome.filteredTestCases));
@@ -1235,6 +1243,8 @@ outcomeFromJson(const Json &json)
     runtime::ProgramOutcome outcome;
     outcome.ran = json.at("ran").asBool();
     outcome.skippedProgram = json.at("skippedProgram").asBool();
+    outcome.quarantined = json.at("quarantined").asBool();
+    outcome.quarantineReason = json.at("quarantineReason").asStr();
     outcome.testCases = json.at("testCases").asU64();
     outcome.filteredTestCases = json.at("filteredTestCases").asU64();
     outcome.effectiveClasses = json.at("effectiveClasses").asU64();

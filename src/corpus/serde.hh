@@ -39,8 +39,11 @@ namespace amulet::corpus
 /** Corpus format version; bumped on any incompatible schema change.
  *  v2: CampaignConfig::filterIneffective joins the campaign definition
  *  (and thus the fingerprint); ProgramOutcome carries the filtering
- *  counters (skippedProgram, filteredTestCases, filterSec). */
-inline constexpr unsigned kFormatVersion = 2;
+ *  counters (skippedProgram, filteredTestCases, filterSec).
+ *  v3: the journal gains a `"kind":"quarantine"` record kind (programs
+ *  whose executor exhausted recovery) and ProgramOutcome carries the
+ *  quarantined/quarantineReason fields in checkpoints. */
+inline constexpr unsigned kFormatVersion = 3;
 
 /** Thrown on malformed or incompatible corpus data. */
 class CorpusError : public std::runtime_error

@@ -38,6 +38,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -273,8 +274,33 @@ struct BackendOptions
      *  via $AMULET_SIM_WORKER, then next to the current executable. */
     std::string workerPath;
     /** Per-operation reply timeout for out-of-process workers; a worker
-     *  that stays silent longer is killed and restarted (seconds). */
+     *  that stays silent longer is killed and restarted (seconds).
+     *  $AMULET_SIM_OP_TIMEOUT_SEC, when set to a positive number,
+     *  overrides this (the scheduler builds backends with default
+     *  options, so campaign-level tests tighten the watchdog via the
+     *  environment). */
     double opTimeoutSec = 600.0;
+    /** Attempts per operation before the worker is declared poisoned
+     *  and the op escalates to WorkerQuarantineError (min 1). */
+    unsigned maxAttempts = 3;
+    /** Base sleep before the second and later respawns of one op,
+     *  doubling per attempt (restart-storm guard; seconds). The first
+     *  retry is immediate so a clean crash-restart stays fast. Slept
+     *  time is recorded in the `backend.restartBackoffSec` timer. */
+    double restartBackoffSec = 0.02;
+};
+
+/**
+ * An out-of-process worker failed every allowed attempt at one
+ * operation (crash loop, persistent hang, or unparseable replies).
+ * This is a *per-program* verdict, not a campaign failure:
+ * ShardExecutor catches it and reports the program as quarantined, and
+ * the campaign continues with a fresh worker.
+ */
+class WorkerQuarantineError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
 };
 
 /** Build a backend for @p kind. Throws std::runtime_error when the kind

@@ -1,8 +1,11 @@
 #include "executor/backend_subprocess.hh"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <stdexcept>
 
 #include <fcntl.h>
@@ -14,6 +17,7 @@
 
 #include "executor/sim_protocol.hh"
 #include "isa/disasm.hh"
+#include "runtime/fault.hh"
 #include "telemetry/telemetry.hh"
 
 namespace amulet::executor
@@ -85,6 +89,11 @@ SubprocessBackend::SubprocessBackend(const HarnessConfig &config,
     ignoreSigpipeOnce();
     if (opts_.workerPath.empty())
         opts_.workerPath = findSimWorker();
+    if (const char *env = std::getenv("AMULET_SIM_OP_TIMEOUT_SEC")) {
+        const double sec = std::strtod(env, nullptr);
+        if (sec > 0)
+            opts_.opTimeoutSec = sec;
+    }
     spawnWorker();
 }
 
@@ -244,6 +253,13 @@ SubprocessBackend::recvLine(std::string &line)
     if (fromWorker_ < 0)
         return false;
     const double timeout = opts_.opTimeoutSec;
+    // The watchdog is a monotonic per-*operation* deadline, not a
+    // per-poll() budget: a worker trickling one byte per poll interval
+    // would otherwise reset the timeout forever and evade the kill.
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(timeout > 0 ? timeout : 0));
     for (;;) {
         const auto nl = rbuf_.find('\n');
         if (nl != std::string::npos) {
@@ -254,8 +270,17 @@ SubprocessBackend::recvLine(std::string &line)
         struct pollfd pfd;
         pfd.fd = fromWorker_;
         pfd.events = POLLIN;
-        const int timeout_ms =
-            timeout <= 0 ? -1 : static_cast<int>(timeout * 1000.0);
+        int timeout_ms = -1;
+        if (timeout > 0) {
+            const auto left =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - std::chrono::steady_clock::now())
+                    .count();
+            if (left <= 0)
+                return false; // deadline spent: wedged or trickling
+            timeout_ms = static_cast<int>(
+                std::min<long long>(left, INT_MAX));
+        }
         const int ready = poll(&pfd, 1, timeout_ms);
         if (ready == 0)
             return false; // wedged worker: caller kills and restarts
@@ -284,31 +309,100 @@ SubprocessBackend::roundTrip(const Json &request)
     const std::string spanName = "wire." + request.at("op").asStr();
     telemetry::SpanScope span(telemetry_, spanName.c_str());
     const std::string text = request.dump();
-    // One retry on a fresh worker: the crash handler re-establishes the
-    // exact pre-operation state (config, program, predictor context),
-    // so the retried operation is deterministic. A second failure on
-    // the same operation means the operation itself kills the worker.
-    for (int attempt = 0; attempt < 2; ++attempt) {
+    // Deterministic chaos layer: ops inside a ShardExecutor program
+    // scope carry a stable (program, op#) key the fault plan can
+    // target. Boot and shard-end ops are unscoped and never faulted.
+    const runtime::fault::FaultPlan *plan =
+        runtime::fault::FaultPlan::active();
+    const std::uint64_t opKey = runtime::fault::ProgramScope::nextOpKey();
+    const unsigned program = runtime::fault::ProgramScope::currentProgram();
+    const bool poisonedOp =
+        plan && program != runtime::fault::ProgramScope::kNoProgram &&
+        plan->poisoned(program);
+    // Retries run on a fresh worker: the crash handler re-establishes
+    // the exact pre-operation state (config, program, predictor
+    // context), so a retried operation is deterministic. A worker that
+    // fails every allowed attempt at one operation is poisoned by that
+    // operation — escalate to a per-program quarantine instead of
+    // killing the campaign.
+    const unsigned max_attempts = std::max(1u, opts_.maxAttempts);
+    for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
+        if (attempt >= 2)
+            backoffBeforeRestart(attempt);
+        if (poisonedOp) {
+            // Injected persistent failure: the op never reaches a
+            // worker, every attempt fails, quarantine must trigger.
+            killWorker();
+            continue;
+        }
         if (pid_ < 0) {
             ++restarts_;
             if (telemetry_)
                 telemetry_->noteBackendRestart();
             spawnWorker();
         }
+        if (plan && attempt == 0 && plan->fires("wire.crash", opKey))
+            killWorker(); // simulated crash: the send below fails
         std::string reply_text;
         if (sendLine(text) && recvLine(reply_text)) {
-            Json reply = Json::parse(reply_text);
-            if (!reply.at("ok").asBool())
+            if (plan && attempt == 0) {
+                if (plan->fires("wire.drop", opKey)) {
+                    // Simulated hang: discard the good reply and take
+                    // the timeout-kill-restart path.
+                    killWorker();
+                    continue;
+                }
+                if (plan->fires("wire.garble", opKey))
+                    reply_text.resize(reply_text.size() / 2);
+            }
+            // A reply that does not parse, or parses without the
+            // protocol's ok/error shape, is a worker malfunction — the
+            // crash path (kill, restart, retry), never a campaign-
+            // killing exception.
+            std::optional<Json> reply;
+            std::string workerError;
+            bool isWorkerError = false;
+            try {
+                Json parsed = Json::parse(reply_text);
+                if (!parsed.at("ok").asBool()) {
+                    workerError = parsed.at("error").asStr();
+                    isWorkerError = true;
+                } else {
+                    reply.emplace(std::move(parsed));
+                }
+            } catch (const corpus::CorpusError &) {
+                // garbled/truncated reply: fall through to killWorker
+            }
+            if (isWorkerError)
                 throw std::runtime_error(
-                    "subprocess backend: worker error: " +
-                    reply.at("error").asStr());
-            return reply;
+                    "subprocess backend: worker error: " + workerError);
+            if (reply)
+                return *std::move(reply);
         }
         killWorker();
     }
-    throw std::runtime_error(
-        "subprocess backend: worker crashed twice on one operation "
-        "(op " + request.at("op").asStr() + ")");
+    throw WorkerQuarantineError(
+        "subprocess backend: worker failed " +
+        std::to_string(max_attempts) + " attempts at one operation (op " +
+        request.at("op").asStr() + ")" +
+        (poisonedOp ? " [fault-plan poison]" : ""));
+}
+
+void
+SubprocessBackend::backoffBeforeRestart(unsigned attempt)
+{
+    // Restart-storm guard: exponential backoff from the second retry
+    // on (the first retry is immediate — a clean crash-restart should
+    // not pay latency). Slept time is visible as the
+    // backend.restartBackoffSec timer.
+    const double sec =
+        opts_.restartBackoffSec * static_cast<double>(1u << (attempt - 2));
+    if (sec <= 0)
+        return;
+    usleep(static_cast<useconds_t>(sec * 1e6));
+    backoffSec_ += sec;
+    if (telemetry_)
+        telemetry_->metrics().timer("backend.restartBackoffSec").add(sec);
 }
 
 void

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "pipeline/stages.hh"
+#include "runtime/fault.hh"
 #include "runtime/worker_pool.hh"
 
 namespace amulet::runtime
@@ -87,6 +88,10 @@ ShardExecutor::finish(pipeline::ProgramPlan &plan,
 ProgramOutcome
 ShardExecutor::runProgram(unsigned p, Rng prog_rng)
 {
+    // Ties this program's backend wire ops to the (program, op#) fault
+    // key space (src/runtime/fault.hh); a no-op unless a chaos plan is
+    // armed. Ops outside the scope (boot, shard-end times) never fault.
+    fault::ProgramScope fault_scope(p);
     pipeline::ProgramPlan plan = prepare(p, std::move(prog_rng));
     if (!plan.halt)
         finish(plan, *backend_);
@@ -115,8 +120,22 @@ ShardExecutor::runClaimed(const ClaimFn &claim,
         backend_->caps().pipelined && !cfg_.stopAtFirstViolation;
 
     if (!pipelined) {
-        while (const std::optional<unsigned> p = claim())
-            report(*p, runProgram(*p, streams[*p]));
+        while (const std::optional<unsigned> p = claim()) {
+            ProgramOutcome out;
+            try {
+                out = runProgram(*p, streams[*p]);
+            } catch (const executor::WorkerQuarantineError &e) {
+                // The out-of-process worker failed every allowed
+                // recovery attempt on one of this program's ops: the
+                // program is poisoned, not the campaign. Report it
+                // quarantined and move on — the backend respawns a
+                // fresh worker (reload + canonical-context restore) on
+                // the next program's first op, so subsequent programs
+                // are byte-identical to a clean run.
+                out = core::ProgramOutcome::makeQuarantined(e.what());
+            }
+            report(*p, std::move(out));
+        }
         return;
     }
 

@@ -68,6 +68,8 @@ ViolationSink::snapshotReported() const
         copy.filterSec = out.filterSec;
         copy.signatureCounts = out.signatureCounts;
         copy.formatTallies = out.formatTallies;
+        copy.quarantined = out.quarantined;
+        copy.quarantineReason = out.quarantineReason;
         // records intentionally omitted (see header).
         snapshot[p] = std::move(copy);
     }
@@ -87,6 +89,10 @@ ViolationSink::finalize() const
         // (a cycle-cap abort has ran == false but is still a skip).
         if (out.skippedProgram)
             ++stats.skippedPrograms;
+        // Quarantined programs contribute exactly one fact — the
+        // quarantine — and no counters (ran stays false).
+        if (out.quarantined)
+            ++stats.quarantinedPrograms;
         if (!out.ran)
             continue;
         ++stats.programs;

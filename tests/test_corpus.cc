@@ -20,6 +20,7 @@
 #include "corpus/replayer.hh"
 #include "corpus/serde.hh"
 #include "isa/assembler.hh"
+#include "runtime/fault.hh"
 
 namespace fs = std::filesystem;
 
@@ -352,6 +353,119 @@ TEST(CorpusStore, ToleratesAndRepairsTornJournalTail)
     }
     EXPECT_THROW(corpus::CorpusStore::readJournal(dir),
                  corpus::CorpusError);
+}
+
+/** Arm a chaos plan (src/runtime/fault.hh) for one test's scope. */
+struct ScopedFaultPlan
+{
+    explicit ScopedFaultPlan(const std::string &spec)
+    {
+        runtime::fault::FaultPlan::install(spec);
+    }
+    ~ScopedFaultPlan() { runtime::fault::FaultPlan::uninstall(); }
+};
+
+// Crash consistency under an injected short write (ENOSPC mid-line):
+// the failed append must throw, heal the journal back to its valid
+// prefix *in place* (no reopen needed), and keep every prior record;
+// a reopened store must agree byte-for-byte.
+TEST(CorpusStore, InjectedShortWriteHealsInPlace)
+{
+    ScratchDir scratch("enospc");
+    const std::string dir = scratch.sub("corpus");
+    const core::CampaignConfig cfg = smallCampaign();
+    const core::ViolationRecord rec = sampleRecord();
+
+    {
+        corpus::CorpusStore store(dir, cfg);
+        store.append(rec);
+
+        // The 1st append under the plan tears; the retry lands.
+        ScopedFaultPlan plan("journal.once=1");
+        core::ViolationRecord second = rec;
+        second.programIndex = 1;
+        EXPECT_THROW(store.append(second), corpus::CorpusError);
+        EXPECT_EQ(store.size(), 1u)
+            << "a torn record must not be counted as durable";
+        EXPECT_TRUE(store.append(second))
+            << "healing must allow the very next append to succeed";
+        EXPECT_EQ(store.size(), 2u);
+    }
+    // The journal on disk is exactly the two good records.
+    const auto records = corpus::CorpusStore::readJournal(dir);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].programIndex, rec.programIndex);
+    EXPECT_EQ(records[1].programIndex, 1u);
+    {
+        corpus::CorpusStore store(dir, cfg);
+        EXPECT_EQ(store.size(), 2u);
+    }
+}
+
+// A checkpoint write failing (injected ENOSPC before the atomic
+// rename) must leave the previous checkpoint fully intact — the torn
+// tmp file is invisible to readers.
+TEST(CorpusCheckpoint, InjectedWriteFailureLeavesPreviousIntact)
+{
+    ScratchDir scratch("ckptfail");
+    const std::string dir = scratch.sub("corpus");
+    fs::create_directories(dir);
+    const core::CampaignConfig cfg = smallCampaign();
+
+    corpus::CompletedOutcomes completed;
+    core::ProgramOutcome out;
+    out.ran = true;
+    out.testCases = 24;
+    completed[3] = out;
+    corpus::writeCheckpoint(dir, cfg, completed);
+
+    {
+        ScopedFaultPlan plan("checkpoint.fail=1000");
+        completed[4] = out;
+        EXPECT_THROW(corpus::writeCheckpoint(dir, cfg, completed),
+                     corpus::CorpusError);
+    }
+    const auto restored = corpus::loadCheckpoint(dir, cfg);
+    ASSERT_EQ(restored.size(), 1u)
+        << "the failed write must not have replaced the old checkpoint";
+    EXPECT_EQ(restored.count(3), 1u);
+    EXPECT_EQ(restored.at(3).testCases, 24u);
+}
+
+// The kill/resume contract under chaos: a campaign interrupted by a
+// program budget *while* faults tear journal appends and fail
+// checkpoint writes, then resumed with the plan off, must still export
+// byte-identically to an uninterrupted clean run.
+TEST(CorpusResume, ChaosInterruptedThenResumedMatchesClean)
+{
+    ScratchDir scratch("chaosresume");
+
+    core::CampaignConfig full = smallCampaign();
+    full.jobs = 1;
+    full.corpusDir = scratch.sub("full");
+    const auto ref = core::Campaign(full).run();
+    ASSERT_GT(ref.confirmedViolations, 0u);
+
+    core::CampaignConfig part = smallCampaign();
+    part.jobs = 2;
+    part.corpusDir = scratch.sub("part");
+    part.checkpointEvery = 2;
+    part.maxProgramsThisRun = 5;
+    part.faultPlan = "seed=2;journal.once=1;checkpoint.fail=400;"
+                     "shard.throw=120";
+    const auto partial = core::Campaign(part).run();
+    EXPECT_LT(partial.programs, full.numPrograms);
+
+    core::CampaignConfig resumed = smallCampaign();
+    resumed.jobs = 3;
+    resumed.corpusDir = scratch.sub("part");
+    resumed.resume = true;
+    const auto stats = core::Campaign(resumed).run();
+    EXPECT_EQ(stats.confirmedViolations, ref.confirmedViolations);
+    EXPECT_EQ(stats.signatureCounts, ref.signatureCounts);
+    EXPECT_EQ(stats.quarantinedPrograms, 0u);
+    EXPECT_EQ(corpus::CorpusStore::exportCanonical(scratch.sub("full")),
+              corpus::CorpusStore::exportCanonical(scratch.sub("part")));
 }
 
 // The acceptance property: for a fixed (config, seed), a campaign
